@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark module regenerates one of the paper's tables/figures (see
+DESIGN.md's per-experiment index and EXPERIMENTS.md for the paper-vs-measured
+record).  The benchmarks use pytest-benchmark: the timed callable *is* the
+experiment, its return value is checked against the paper's qualitative
+claims, and the headline numbers are attached to ``benchmark.extra_info`` so
+they appear in pytest-benchmark's JSON output.
+"""
+
+import pytest
+
+from repro.core.types import Port
+
+
+@pytest.fixture
+def port():
+    """The service port used by all benchmark workloads."""
+    return Port("bench-service")
+
+
+@pytest.fixture
+def record(benchmark):
+    """Attach experiment outputs to the benchmark's extra_info."""
+
+    def _record(**values):
+        for key, value in values.items():
+            benchmark.extra_info[key] = value
+
+    return _record

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""An Amoeba-style service hierarchy on a Manhattan grid.
+
+Reproduces the paper's motivating scenario (sections 1.1-1.4): a command
+interpreter (client) calls a query service, which is itself a client of a
+database service; servers are mobile — the database server migrates midway —
+and a node crash takes one file server down while its replica keeps the
+service available.  Match-making uses the row/column strategy of section 3.1.
+"""
+
+from repro import (
+    DistributedSystem,
+    ManhattanStrategy,
+    ManhattanTopology,
+    Port,
+)
+
+DATABASE = Port("database")
+QUERY = Port("query-service")
+FILES = Port("file-server")
+
+
+def main() -> None:
+    topology = ManhattanTopology.square(6)           # 36 processors
+    network = topology.build_network()
+    system = DistributedSystem(network, ManhattanStrategy(topology))
+
+    # --- the database service --------------------------------------------------
+    database = {"alice": "researcher", "bob": "caterer"}
+    system.create_server((1, 1), DATABASE, handler=lambda key: database.get(key))
+
+    # --- the query service: a server that is itself a client -------------------
+    query_client = system.create_client((4, 2), name="query-service-client-half")
+
+    def query_handler(question: str) -> str:
+        # The query server recovers from database unavailability by reporting
+        # failure upward, as the paper's hierarchy-of-services story requires.
+        outcome = system.request(query_client, DATABASE, question)
+        if not outcome.ok:
+            return f"query-service: database unavailable ({outcome.error})"
+        return f"query-service: {question} -> {outcome.reply}"
+
+    system.create_server((4, 2), QUERY, handler=query_handler)
+
+    # --- a replicated file service ----------------------------------------------
+    system.create_server((0, 5), FILES, handler=lambda name: f"contents of {name}")
+    system.create_server((5, 0), FILES, handler=lambda name: f"contents of {name}")
+
+    # --- the human's command interpreter -----------------------------------------
+    shell = system.create_client((3, 3), name="command-interpreter")
+
+    print("== normal operation ==")
+    print(system.request(shell, QUERY, "alice").reply)
+    print(system.request(shell, FILES, "/etc/motd").reply)
+
+    print("\n== the database server migrates ==")
+    db_server = next(s for s in system.servers() if s.port == DATABASE)
+    system.migrate_server(db_server, (5, 5))
+    outcome = system.request(shell, QUERY, "bob")
+    print(outcome.reply)
+    print(f"(query service needed {outcome.retries} retries after migration: "
+          f"stale addresses are re-located transparently)")
+
+    print("\n== one file server's host crashes ==")
+    system.crash_node((0, 5))
+    outcome = system.request(shell, FILES, "/var/log/messages")
+    print(outcome.reply)
+    print(f"(answered by the surviving replica at "
+          f"{outcome.server.node if outcome.server else '??'})")
+
+    stats = system.stats
+    print("\n== system counters ==")
+    print(f"requests={stats.requests} ok={stats.successful_requests} "
+          f"locates={stats.locates} stale={stats.stale_addresses} "
+          f"migrations={stats.migrations}")
+    print(f"total message passes on the network: "
+          f"{system.network.stats.total_hops}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Robustness of name servers under node crashes (section 2.4).
+
+Three stories on the same 49-node grid:
+
+1. the centralized name server dies with its host;
+2. the checkerboard strategy keeps matching new pairs after the same crash
+   (only pairs whose single rendezvous node crashed must re-post);
+3. adding redundancy (#(P ∩ Q) ≥ f+1, here via the projective-plane strategy
+   with full-line rendezvous on a complete overlay) survives f crashes.
+
+Also shows Hash Locate's fragility and its rehashing repair.
+"""
+
+import random
+
+from repro import (
+    CentralizedStrategy,
+    CheckerboardStrategy,
+    HashLocateStrategy,
+    ManhattanStrategy,
+    ManhattanTopology,
+    MatchMaker,
+    Port,
+    RendezvousMatrix,
+    robustness,
+)
+from repro.strategies import RehashingLocator
+
+PORT = Port("login-service")
+
+
+def crash_and_relocate(topology, strategy, crashed_nodes, server_node, client_node):
+    """Register a server, crash nodes, then try to locate: returns found?"""
+    network = topology.build_network()
+    matchmaker = MatchMaker(network, strategy)
+    matchmaker.register_server(server_node, PORT)
+    for node in crashed_nodes:
+        network.crash_node(node)
+    return matchmaker.locate(client_node, PORT).found
+
+
+def main() -> None:
+    topology = ManhattanTopology.square(7)
+    nodes = topology.nodes()
+    rng = random.Random(11)
+
+    server_node, client_node = (6, 6), (0, 3)
+
+    print("== 1. centralized name server ==")
+    centre = (3, 3)
+    central = CentralizedStrategy(nodes, centre)
+    ok_before = crash_and_relocate(topology, central, [], server_node, client_node)
+    ok_after = crash_and_relocate(topology, central, [centre], server_node, client_node)
+    print(f"locate with healthy centre: {ok_before}; after centre crash: {ok_after}")
+    report = robustness.analyse(RendezvousMatrix.from_strategy(central, nodes))
+    print(f"analysis: distributed={report.is_distributed}, "
+          f"tolerated faults={report.fault_tolerance}")
+
+    print("\n== 2. checkerboard (truly distributed) ==")
+    checker = CheckerboardStrategy(nodes)
+    ok_after = crash_and_relocate(topology, checker, [centre], server_node, client_node)
+    print(f"after crashing {centre}: locate still works = {ok_after}")
+    matrix = RendezvousMatrix.from_strategy(checker, nodes)
+    crashed = [centre]
+    fraction = robustness.surviving_pairs_fraction(matrix, crashed)
+    print(f"fraction of surviving pairs that can still meet without re-posting: "
+          f"{fraction:.2%} (the rest simply re-post elsewhere)")
+
+    print("\n== 3. row/column strategy under random crashes ==")
+    manhattan = ManhattanStrategy(topology)
+    for f in (1, 3, 6):
+        crashed = rng.sample([n for n in nodes if n not in (server_node, client_node)], f)
+        ok = crash_and_relocate(topology, manhattan, crashed, server_node, client_node)
+        print(f"  {f} random crashes -> locate succeeded: {ok}")
+
+    print("\n== 4. Hash Locate fragility and rehashing ==")
+    hashing = HashLocateStrategy(nodes, replicas=1)
+    rendezvous = next(iter(hashing.rendezvous_nodes(PORT)))
+    network = topology.build_network()
+    locator = RehashingLocator(network, hashing, max_rehash_attempts=3)
+    locator.register_server(server_node, PORT)
+    network.crash_node(rendezvous)
+    record, attempts = locator.locate(client_node, PORT)
+    print(f"primary rendezvous node {rendezvous} crashed; "
+          f"rehashing found the service after {attempts} extra attempt(s): "
+          f"{record is not None}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Very large networks: hierarchical locate and Lighthouse Locate.
+
+Part 1 — hierarchical gateway networks (section 3.5): as the number of
+hierarchy levels grows (for a fixed total size), the per-match cost falls
+from the flat 2*sqrt(n) towards O(log n), while the caches near the top of
+the hierarchy grow.
+
+Part 2 — Lighthouse Locate (section 4): servers beam their whereabouts with
+evaporating trails; a client escalates its inquiry beams with the doubling
+and the ruler schedules, and we report how many trials/messages each needs
+as the density of servers varies.
+"""
+
+import math
+import random
+
+from repro import (
+    HierarchicalGatewayStrategy,
+    HierarchicalTopology,
+    LighthouseLocate,
+    ManhattanTopology,
+    MatchMaker,
+    Port,
+    RendezvousMatrix,
+    format_table,
+)
+from repro.strategies import DoublingSchedule, RulerSchedule
+
+PORT = Port("object-store")
+
+
+def hierarchical_sweep() -> None:
+    print("== hierarchical gateway networks: levels vs cost ==")
+    rows = []
+    # Keep n = 64 while varying the number of levels: 64 = 64^1 = 8^2 = 4^3 = 2^6.
+    for arity, levels in ((64, 1), (8, 2), (4, 3), (2, 6)):
+        topology = HierarchicalTopology.uniform(arity, levels)
+        strategy = HierarchicalGatewayStrategy(topology)
+        matrix = RendezvousMatrix.from_strategy(strategy, topology.nodes())
+        network = topology.build_network()
+        matchmaker = MatchMaker(network, strategy)
+        for node in topology.nodes():
+            matchmaker.register_server(node, PORT, server_id=f"probe@{node}")
+        rows.append(
+            {
+                "levels": levels,
+                "arity": arity,
+                "n": topology.node_count,
+                "m(n)": round(matrix.average_cost(), 2),
+                "2*sqrt(n)": round(2 * math.sqrt(topology.node_count), 2),
+                "max cache": network.max_cache_size(),
+            }
+        )
+    print(format_table(rows))
+    print("(more levels -> cheaper matches, bigger caches near the top)\n")
+
+
+def lighthouse_sweep() -> None:
+    print("== Lighthouse Locate: server density vs client effort ==")
+    rows = []
+    side = 12
+    port = Port("catering")
+    for server_count in (1, 4, 12):
+        for schedule_name, schedule in (
+            ("doubling", DoublingSchedule(base_length=1, escalate_after=2)),
+            ("ruler", RulerSchedule(base_length=2)),
+        ):
+            topology = ManhattanTopology.square(side)
+            network = topology.build_network()
+            lighthouse = LighthouseLocate(
+                network,
+                server_beam_length=3,
+                server_period=2,
+                trail_ttl=6,
+                schedule=schedule,
+                seed=29,
+            )
+            rng = random.Random(17)
+            for _ in range(server_count):
+                node = rng.choice(topology.nodes())
+                lighthouse.add_server(node, port)
+            result = lighthouse.locate((0, 0), port, max_trials=128)
+            rows.append(
+                {
+                    "servers": server_count,
+                    "schedule": schedule_name,
+                    "found": result.found,
+                    "trials": result.trials,
+                    "client msgs": result.client_messages,
+                    "server msgs": result.server_messages,
+                }
+            )
+    print(format_table(rows))
+    print("(denser services and longer beams are found in fewer trials)")
+
+
+def main() -> None:
+    hierarchical_sweep()
+    lighthouse_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: distributed match-making in a dozen lines.
+
+A 64-processor pool, the truly distributed (checkerboard) name server of
+Example 4, one printer server and one client that locates it.  The script
+prints the message-pass cost of the match and compares it with the paper's
+2*sqrt(n) optimum.
+"""
+
+import math
+
+from repro import (
+    CheckerboardStrategy,
+    CompleteTopology,
+    MatchMaker,
+    Port,
+    RendezvousMatrix,
+)
+
+
+def main() -> None:
+    # A pool of 64 processor-memory modules, fully connected.
+    topology = CompleteTopology(64)
+    network = topology.build_network(delivery_mode="ideal")
+
+    # The truly distributed name server: every node does an equal share of
+    # the rendezvous work, and every match costs ~2*sqrt(n) messages.
+    strategy = CheckerboardStrategy(topology.nodes())
+    matchmaker = MatchMaker(network, strategy)
+
+    # A print server comes up on node 5 and advertises itself.
+    printer = Port("printer")
+    registration = matchmaker.register_server(5, printer)
+    print(f"server posted at {len(registration.posted_at)} rendezvous nodes "
+          f"({registration.post_hops} message passes)")
+
+    # A client on node 41 locates the printer without knowing where it is.
+    result = matchmaker.locate(41, printer)
+    print(f"client found printer at {result.address} "
+          f"(queried {result.nodes_queried} nodes, "
+          f"{result.query_messages} query hops, "
+          f"{result.reply_messages} reply hops)")
+
+    # Compare the strategy's average cost with the theoretical optimum.
+    matrix = RendezvousMatrix.from_strategy(strategy, topology.nodes())
+    optimum = 2 * math.sqrt(topology.node_count)
+    print(f"average m(n) of the strategy : {matrix.average_cost():.1f}")
+    print(f"paper's 2*sqrt(n) optimum     : {optimum:.1f}")
+    print(f"load spread over nodes        : every node used "
+          f"{set(matrix.multiplicities().values())} times as rendezvous")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Compare name-server strategies across the paper's topologies.
+
+For each topology of section 3 the script instantiates the matching strategy
+plus the universal baselines (broadcast, sweep, centralized, checkerboard,
+hash locate) and prints one comparison table per topology: theoretical
+average cost m(n), its lower bound, measured hops on the real topology
+(including routing overhead), cache pressure and fault tolerance.
+"""
+
+from repro import (
+    CubeConnectedCyclesStrategy,
+    CubeConnectedCyclesTopology,
+    HierarchicalGatewayStrategy,
+    HierarchicalTopology,
+    HypercubeStrategy,
+    HypercubeTopology,
+    ManhattanStrategy,
+    ManhattanTopology,
+    Port,
+    ProjectivePlaneStrategy,
+    ProjectivePlaneTopology,
+    compare_strategies,
+    comparison_table,
+    default_registry,
+    format_table,
+)
+
+PORT = Port("catering-service")
+
+
+def run_for(topology, extra_strategies, pair_count=40) -> None:
+    registry = default_registry()
+    strategies = registry.create_all(
+        topology.nodes(), only=["broadcast", "sweep", "centralized", "checkerboard"]
+    )
+    strategies.update(extra_strategies)
+    comparisons = compare_strategies(
+        topology, strategies, PORT, pair_count=pair_count, seed=7
+    )
+    rows = comparison_table(comparisons)
+    print(format_table(rows, title=f"\n=== {topology.name} (n={topology.node_count}) ==="))
+
+
+def main() -> None:
+    manhattan = ManhattanTopology.square(6)
+    run_for(manhattan, {"manhattan-row-column": ManhattanStrategy(manhattan)})
+
+    hypercube = HypercubeTopology(6)
+    run_for(hypercube, {"hypercube-subcube": HypercubeStrategy(hypercube)})
+
+    ccc = CubeConnectedCyclesTopology(3)
+    run_for(ccc, {"ccc-subcube": CubeConnectedCyclesStrategy(ccc)})
+
+    plane = ProjectivePlaneTopology(5)
+    run_for(plane, {"projective-lines": ProjectivePlaneStrategy(plane)})
+
+    hierarchy = HierarchicalTopology.uniform(4, 3)
+    run_for(hierarchy, {"hierarchical-gateway": HierarchicalGatewayStrategy(hierarchy)})
+
+
+if __name__ == "__main__":
+    main()

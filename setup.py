@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can also be installed in environments without PEP 517/660 tooling
+(e.g. ``python setup.py develop`` on offline machines lacking the ``wheel``
+package).
+"""
+
+from setuptools import setup
+
+setup()

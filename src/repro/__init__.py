@@ -1,0 +1,138 @@
+"""Distributed match-making for processes in computer networks.
+
+A complete, self-contained reproduction of S.J. Mullender & P.M.B. Vitányi,
+"Distributed Match-Making for Processes in Computer Networks" (PODC 1985):
+the Shotgun/Hash/Lighthouse locate algorithms, the rendezvous-matrix theory
+with its lower and upper bounds, the topology-specific name servers of
+section 3, and the Amoeba-style service model they were designed for — all
+running on a pure-Python store-and-forward network simulator.
+
+Quick start::
+
+    from repro import CompleteTopology, CheckerboardStrategy, MatchMaker, Port
+
+    topology = CompleteTopology(64)
+    strategy = CheckerboardStrategy(topology.nodes())
+    network = topology.build_network()
+    matchmaker = MatchMaker(network, strategy)
+
+    port = Port("printer")
+    matchmaker.register_server(5, port)
+    result = matchmaker.locate(41, port)
+    assert result.found
+"""
+
+from .analysis import compare_strategies, comparison_table, format_table, summarize
+from .core import (
+    Address,
+    FunctionalStrategy,
+    MatchMaker,
+    MatchMakingError,
+    MatchMakingStrategy,
+    MatchResult,
+    Port,
+    PortFactory,
+    PostRecord,
+    RendezvousMatrix,
+    ServiceNotFoundError,
+    StrategyError,
+    bounds,
+    probabilistic,
+    robustness,
+)
+from .network import Graph, Network, complete_graph
+from .processes import ClientProcess, DistributedSystem, ServerProcess, Service
+from .strategies import (
+    BroadcastStrategy,
+    CentralizedStrategy,
+    CheckerboardStrategy,
+    CubeConnectedCyclesStrategy,
+    HashLocateStrategy,
+    HierarchicalGatewayStrategy,
+    HypercubeStrategy,
+    LighthouseLocate,
+    ManhattanStrategy,
+    MeshSliceStrategy,
+    ProjectivePlaneStrategy,
+    ScopedHashStrategy,
+    SubgraphDecompositionStrategy,
+    SupervisorHierarchyStrategy,
+    SweepStrategy,
+    TreePathStrategy,
+    default_registry,
+)
+from .topologies import (
+    CompleteTopology,
+    CubeConnectedCyclesTopology,
+    HierarchicalTopology,
+    HypercubeTopology,
+    ManhattanTopology,
+    MeshTopology,
+    ProjectivePlaneTopology,
+    RingTopology,
+    StarTopology,
+    TreeTopology,
+    UUCPNetworkGenerator,
+    decompose,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Address",
+    "BroadcastStrategy",
+    "CentralizedStrategy",
+    "CheckerboardStrategy",
+    "ClientProcess",
+    "CompleteTopology",
+    "CubeConnectedCyclesStrategy",
+    "CubeConnectedCyclesTopology",
+    "DistributedSystem",
+    "FunctionalStrategy",
+    "Graph",
+    "HashLocateStrategy",
+    "HierarchicalGatewayStrategy",
+    "HierarchicalTopology",
+    "HypercubeStrategy",
+    "HypercubeTopology",
+    "LighthouseLocate",
+    "ManhattanStrategy",
+    "ManhattanTopology",
+    "MatchMaker",
+    "MatchMakingError",
+    "MatchMakingStrategy",
+    "MatchResult",
+    "MeshSliceStrategy",
+    "MeshTopology",
+    "Network",
+    "Port",
+    "PortFactory",
+    "PostRecord",
+    "ProjectivePlaneStrategy",
+    "ProjectivePlaneTopology",
+    "RendezvousMatrix",
+    "RingTopology",
+    "ScopedHashStrategy",
+    "ServerProcess",
+    "Service",
+    "ServiceNotFoundError",
+    "StarTopology",
+    "StrategyError",
+    "SubgraphDecompositionStrategy",
+    "SupervisorHierarchyStrategy",
+    "SweepStrategy",
+    "TreePathStrategy",
+    "TreeTopology",
+    "UUCPNetworkGenerator",
+    "bounds",
+    "compare_strategies",
+    "comparison_table",
+    "complete_graph",
+    "decompose",
+    "default_registry",
+    "format_table",
+    "probabilistic",
+    "robustness",
+    "summarize",
+    "__version__",
+]

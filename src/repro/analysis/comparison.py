@@ -1,0 +1,141 @@
+"""Cross-strategy comparison harness.
+
+The paper's narrative compares "the entire range between centralized and
+distributed forms" of the name server.  :func:`compare_strategies` runs a set
+of strategies over one topology and collects, per strategy:
+
+* the theoretical quantities from the rendezvous matrix (``m(n)``, lower
+  bound, load balance, robustness);
+* measured hop counts of complete match-making instances on the actual
+  topology (posting + querying + replies, including routing overhead);
+* the cache sizes the strategy induces when every node hosts one server.
+
+This powers the E14 benchmark and the ``topology_comparison`` example.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.matchmaker import MatchMaker
+from ..core.rendezvous import RendezvousMatrix
+from ..core.strategy import MatchMakingStrategy
+from ..core.types import Port
+from ..network.simulator import Network
+from ..topologies.base import Topology
+from .matrix_stats import MatrixSummary, summarize
+
+
+@dataclass(frozen=True)
+class StrategyComparison:
+    """All measurements for one strategy on one topology."""
+
+    summary: MatrixSummary
+    measured_average_hops: float
+    measured_average_addressed: float
+    max_cache_size: int
+    routing_overhead: float
+
+    @property
+    def strategy(self) -> str:
+        """The strategy name."""
+        return self.summary.strategy
+
+
+def sample_pairs(
+    nodes: Sequence[Hashable], count: int, rng: random.Random
+) -> List[Tuple[Hashable, Hashable]]:
+    """Sample ``count`` (server, client) pairs uniformly (with
+    replacement)."""
+    if not nodes:
+        raise ValueError("nodes must not be empty")
+    return [(rng.choice(nodes), rng.choice(nodes)) for _ in range(count)]
+
+
+def measure_strategy(
+    topology: Topology,
+    strategy: MatchMakingStrategy,
+    port: Port,
+    pairs: Sequence[Tuple[Hashable, Hashable]],
+    delivery_mode: str = "multicast",
+) -> StrategyComparison:
+    """Run one strategy over the given pairs and collect its comparison
+    row."""
+    matrix = RendezvousMatrix.from_strategy(strategy, topology.nodes(), port=port)
+    summary = summarize(matrix, name=strategy.name)
+
+    network = Network(topology.graph, delivery_mode=delivery_mode)
+    matchmaker = MatchMaker(network, strategy)
+    total_hops = 0
+    total_addressed = 0
+    for server_node, client_node in pairs:
+        result = matchmaker.match_instance(server_node, client_node, port)
+        total_hops += result.match_messages
+        total_addressed += result.addressed_nodes
+
+    # Cache pressure: register one server per node and look at the fullest
+    # cache ("size O(sqrt(n)) suffices for the cache of each node" style
+    # claims).
+    cache_network = Network(topology.graph, delivery_mode=delivery_mode)
+    cache_matchmaker = MatchMaker(cache_network, strategy)
+    for node in topology.nodes():
+        cache_matchmaker.register_server(node, port, server_id=f"cache-probe@{node}")
+    max_cache = cache_network.max_cache_size()
+
+    measured_hops = total_hops / len(pairs) if pairs else 0.0
+    measured_addressed = total_addressed / len(pairs) if pairs else 0.0
+    overhead = (measured_hops / measured_addressed) if measured_addressed else 0.0
+    return StrategyComparison(
+        summary=summary,
+        measured_average_hops=measured_hops,
+        measured_average_addressed=measured_addressed,
+        max_cache_size=max_cache,
+        routing_overhead=overhead,
+    )
+
+
+def compare_strategies(
+    topology: Topology,
+    strategies: Mapping[str, MatchMakingStrategy],
+    port: Port,
+    pair_count: int = 50,
+    seed: int = 0,
+    delivery_mode: str = "multicast",
+) -> Dict[str, StrategyComparison]:
+    """Measure every strategy on the same sampled pairs of the topology."""
+    rng = random.Random(seed)
+    pairs = sample_pairs(topology.nodes(), pair_count, rng)
+    return {
+        name: measure_strategy(
+            topology, strategy, port, pairs, delivery_mode=delivery_mode
+        )
+        for name, strategy in strategies.items()
+    }
+
+
+def comparison_table(
+    comparisons: Mapping[str, StrategyComparison]
+) -> List[Dict[str, object]]:
+    """Flatten comparisons into printable rows, cheapest average cost
+    first."""
+    rows = []
+    for name, comparison in comparisons.items():
+        summary = comparison.summary
+        rows.append(
+            {
+                "strategy": name,
+                "n": summary.n,
+                "m(n) theory": round(summary.average_cost, 2),
+                "bound": round(summary.lower_bound, 2),
+                "hops measured": round(comparison.measured_average_hops, 2),
+                "addressed": round(comparison.measured_average_addressed, 2),
+                "routing overhead": round(comparison.routing_overhead, 2),
+                "max cache": comparison.max_cache_size,
+                "f": summary.fault_tolerance,
+                "distributed": summary.is_distributed,
+            }
+        )
+    rows.sort(key=lambda row: row["m(n) theory"])
+    return rows

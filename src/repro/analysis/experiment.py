@@ -1,0 +1,105 @@
+"""Small utilities shared by examples and benchmarks.
+
+Plain-text table formatting (the experiments print rows the way the paper's
+tables read), deterministic pair sampling, and simple scaling-fit helpers
+used to check asymptotic claims (e.g. that measured cost grows like
+``sqrt(n)`` or like ``log n``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return title + "\n(empty)" if title else "(empty)"
+    headers = list(rows[0].keys())
+    columns = {header: [str(row.get(header, "")) for row in rows] for header in headers}
+    widths = {
+        header: max(len(header), *(len(value) for value in columns[header]))
+        for header in headers
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[header]) for header in headers))
+    lines.append("  ".join("-" * widths[header] for header in headers))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(header, "")).ljust(widths[header]) for header in headers)
+        )
+    return "\n".join(lines)
+
+
+def fit_power_law(points: Sequence[Tuple[float, float]]) -> Tuple[float, float]:
+    """Least-squares fit ``y = a·x^b`` in log-log space; returns ``(a, b)``.
+
+    Used to check scaling claims: the exponent ``b`` of measured cost vs ``n``
+    should be ≈ 0.5 for the 2·sqrt(n) strategies, ≈ (d-1)/d for d-dimensional
+    meshes, ≈ 1 for broadcast, and so on.
+    """
+    filtered = [(x, y) for x, y in points if x > 0 and y > 0]
+    if len(filtered) < 2:
+        raise ValueError("need at least two positive points to fit")
+    logs = [(math.log(x), math.log(y)) for x, y in filtered]
+    mean_x = sum(lx for lx, _ in logs) / len(logs)
+    mean_y = sum(ly for _, ly in logs) / len(logs)
+    numerator = sum((lx - mean_x) * (ly - mean_y) for lx, ly in logs)
+    denominator = sum((lx - mean_x) ** 2 for lx, _ in logs)
+    if denominator == 0:
+        raise ValueError("all x values are identical")
+    b = numerator / denominator
+    a = math.exp(mean_y - b * mean_x)
+    return a, b
+
+
+def fit_logarithmic(points: Sequence[Tuple[float, float]]) -> Tuple[float, float]:
+    """Least-squares fit ``y = a + b·log2(x)``; returns ``(a, b)``.
+
+    Used for the hierarchical / tree strategies whose cost should grow
+    logarithmically in ``n``.
+    """
+    filtered = [(x, y) for x, y in points if x > 0]
+    if len(filtered) < 2:
+        raise ValueError("need at least two points with positive x to fit")
+    transformed = [(math.log2(x), y) for x, y in filtered]
+    mean_x = sum(tx for tx, _ in transformed) / len(transformed)
+    mean_y = sum(ty for _, ty in transformed) / len(transformed)
+    numerator = sum((tx - mean_x) * (ty - mean_y) for tx, ty in transformed)
+    denominator = sum((tx - mean_x) ** 2 for tx, _ in transformed)
+    if denominator == 0:
+        raise ValueError("all x values are identical")
+    b = numerator / denominator
+    a = mean_y - b * mean_x
+    return a, b
+
+
+def relative_error(measured: float, expected: float) -> float:
+    """``|measured − expected| / |expected|`` (``inf`` when expected is
+    0)."""
+    if expected == 0:
+        return float("inf") if measured != 0 else 0.0
+    return abs(measured - expected) / abs(expected)
+
+
+def geometric_sizes(start: int, stop: int, factor: float = 2.0) -> List[int]:
+    """Geometrically spaced integer sizes in ``[start, stop]`` (inclusive-ish).
+
+    Handy for scaling sweeps: ``geometric_sizes(16, 1024)`` gives
+    ``[16, 32, 64, ..., 1024]``.
+    """
+    if start <= 0 or stop < start:
+        raise ValueError("need 0 < start <= stop")
+    if factor <= 1.0:
+        raise ValueError("factor must exceed 1")
+    sizes = []
+    value = float(start)
+    while value <= stop:
+        size = int(round(value))
+        if not sizes or size != sizes[-1]:
+            sizes.append(size)
+        value *= factor
+    return sizes

@@ -1,0 +1,109 @@
+"""Tree depth models of section 3.6.
+
+The paper derives how deep the organically-grown trees are as a function of
+the number of nodes for two branching profiles:
+
+* factorial profile ``d(i) = c·i^(1+eps)``:
+  ``l ≈ log n / ((1+eps)·loglog n)``;
+* exponential profile ``d(i) = c·2^(eps·i)``:
+  ``l ≈ sqrt(log²c + (2/eps)·log n) − log c``.
+
+Doubling the exponent ``1+eps`` (resp. quadrupling ``eps``) halves the depth
+for the same number of nodes; the depth matters because the path-to-root
+strategy costs ``m(n) ∈ O(l)``.
+
+This module measures the actual depth of trees constructed with those
+profiles and compares it against the predictions, plus the halving claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..topologies.tree import (
+    TreeTopology,
+    predicted_depth_exponential,
+    predicted_depth_factorial,
+)
+
+
+@dataclass(frozen=True)
+class DepthObservation:
+    """One (constructed tree, predicted depth) comparison point."""
+
+    profile: str
+    levels: int
+    parameter: float
+    node_count: int
+    actual_depth: int
+    predicted_depth: float
+
+    @property
+    def relative_error(self) -> float:
+        """``|actual − predicted| / actual``."""
+        if self.actual_depth == 0:
+            return float("inf")
+        return abs(self.actual_depth - self.predicted_depth) / self.actual_depth
+
+
+def observe_factorial_trees(
+    levels_range: Sequence[int], eps: float = 0.0, c: float = 1.0
+) -> List[DepthObservation]:
+    """Construct factorial-profile trees and compare depth to the
+    prediction."""
+    observations = []
+    for levels in levels_range:
+        tree = TreeTopology.factorial_profile(levels, c=c, eps=eps)
+        n = tree.node_count
+        observations.append(
+            DepthObservation(
+                profile="factorial",
+                levels=levels,
+                parameter=eps,
+                node_count=n,
+                actual_depth=tree.depth,
+                predicted_depth=predicted_depth_factorial(n, eps=eps),
+            )
+        )
+    return observations
+
+
+def observe_exponential_trees(
+    levels_range: Sequence[int], eps: float = 1.0, c: float = 1.0
+) -> List[DepthObservation]:
+    """Construct exponential-profile trees and compare depth to the
+    prediction."""
+    observations = []
+    for levels in levels_range:
+        tree = TreeTopology.exponential_profile(levels, c=c, eps=eps)
+        n = tree.node_count
+        observations.append(
+            DepthObservation(
+                profile="exponential",
+                levels=levels,
+                parameter=eps,
+                node_count=n,
+                actual_depth=tree.depth,
+                predicted_depth=predicted_depth_exponential(n, c=c, eps=eps),
+            )
+        )
+    return observations
+
+
+def depth_halving_ratio(n: int, eps: float, factor: float = 4.0) -> float:
+    """Predicted depth ratio when the exponential parameter grows by
+    ``factor``.
+
+    The paper: "If eps is quadrupled then the depth of the tree is halved for
+    the same number of nodes."  The returned ratio (depth with ``eps`` over
+    depth with ``factor·eps``) should therefore be ≈ sqrt(factor) = 2 for
+    ``factor = 4``.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    shallow = predicted_depth_exponential(n, eps=eps)
+    deep = predicted_depth_exponential(n, eps=factor * eps)
+    if deep == 0:
+        return float("inf")
+    return shallow / deep

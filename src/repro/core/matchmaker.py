@@ -1,0 +1,236 @@
+"""The match-making engine: running a strategy on a simulated network.
+
+:class:`MatchMaker` is the operational counterpart of the theory in
+:mod:`repro.core.rendezvous`: given a :class:`~repro.network.Network` and a
+:class:`~repro.core.strategy.MatchMakingStrategy` it performs the Shotgun
+Locate protocol of section 1.5 —
+
+1. a server process at node ``i`` posts its ``(port, address)`` at every node
+   of ``P(i)``;
+2. a client at node ``j`` queries every node of ``Q(j)``;
+3. every node of ``P(i) ∩ Q(j)`` that received both replies with the server's
+   address —
+
+while the network charges every hop.  The engine reports both hop counts and
+addressed-node counts so experiments can compare measured behaviour against
+the complete-network theory.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from ..network.simulator import Network
+from ..network.stats import POST, QUERY
+from .exceptions import ServiceNotFoundError
+from .strategy import MatchMakingStrategy
+from .types import Address, MatchResult, Port
+
+
+@dataclass(frozen=True)
+class ServerRegistration:
+    """Book-keeping record for one registered server."""
+
+    server_id: str
+    port: Port
+    node: Hashable
+    posted_at: Tuple[Hashable, ...]
+    post_hops: int
+
+
+class MatchMaker:
+    """Runs Shotgun/Hash/topology locate strategies on a network.
+
+    Parameters
+    ----------
+    network:
+        The simulated network to run on.
+    strategy:
+        The strategy supplying ``P`` and ``Q``.
+    delivery_mode:
+        Override of the network's default delivery mode for posts/queries
+        (``"ideal"`` reproduces the complete-network accounting of the
+        theory; ``"unicast"``/``"multicast"`` include routing overhead).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        strategy: MatchMakingStrategy,
+        delivery_mode: Optional[str] = None,
+    ) -> None:
+        self._network = network
+        self._strategy = strategy
+        self._mode = delivery_mode
+        self._registrations: Dict[str, ServerRegistration] = {}
+        self._server_counter = itertools.count()
+
+    @property
+    def network(self) -> Network:
+        """The underlying network."""
+        return self._network
+
+    @property
+    def strategy(self) -> MatchMakingStrategy:
+        """The strategy in use."""
+        return self._strategy
+
+    @property
+    def registrations(self) -> List[ServerRegistration]:
+        """All currently registered servers."""
+        return list(self._registrations.values())
+
+    # -- server side -----------------------------------------------------------
+
+    def register_server(
+        self, node: Hashable, port: Port, server_id: Optional[str] = None
+    ) -> ServerRegistration:
+        """Post a server's ``(port, address)`` at every node of ``P(node)``.
+
+        Returns the registration record (including how many hops the posting
+        cost).  Posting to unreachable/crashed rendezvous nodes silently
+        skips them, exactly as a real network would.
+        """
+        server_id = server_id or f"server-{next(self._server_counter)}@{node}"
+        targets = self._strategy.post_set(node, port)
+        before = self._network.stats.hops_for(POST)
+        outcome = self._network.post(
+            node, port, targets, server_id=server_id, mode=self._mode
+        )
+        post_hops = self._network.stats.hops_for(POST) - before
+        registration = ServerRegistration(
+            server_id=server_id,
+            port=port,
+            node=node,
+            posted_at=tuple(sorted(outcome.reached, key=repr)),
+            post_hops=post_hops,
+        )
+        self._registrations[server_id] = registration
+        return registration
+
+    def deregister_server(self, registration: ServerRegistration) -> None:
+        """Withdraw a server's postings (the server stops offering the
+        service)."""
+        self._network.unpost(
+            registration.node,
+            registration.port,
+            registration.posted_at,
+            server_id=registration.server_id,
+            mode=self._mode,
+        )
+        self._registrations.pop(registration.server_id, None)
+
+    def migrate_server(
+        self, registration: ServerRegistration, new_node: Hashable
+    ) -> ServerRegistration:
+        """Move a server to ``new_node``: withdraw old postings, post anew.
+
+        Mirrors the paper's description of migration as "destroying the
+        server process in one host and creating another one in a different
+        host at the same time" (section 1.3).
+        """
+        self.deregister_server(registration)
+        return self.register_server(
+            new_node, registration.port, server_id=registration.server_id
+        )
+
+    # -- client side ------------------------------------------------------------
+
+    def locate(
+        self, client_node: Hashable, port: Port, collect_all: bool = False
+    ) -> MatchResult:
+        """Query every node of ``Q(client_node)`` for ``port``.
+
+        Returns a :class:`~repro.core.types.MatchResult`; ``found`` is False
+        when no queried node knew an address (e.g. no server registered, or
+        all rendezvous nodes crashed).
+        """
+        targets = self._strategy.query_set(client_node, port)
+        before_query = self._network.stats.hops_for(QUERY)
+        outcome = self._network.query(
+            client_node, port, targets, mode=self._mode, collect_all=collect_all
+        )
+        query_hops = self._network.stats.hops_for(QUERY) - before_query
+        freshest = outcome.freshest()
+        return MatchResult(
+            found=freshest is not None,
+            address=freshest.address if freshest else None,
+            rendezvous_nodes=outcome.responding_nodes,
+            post_messages=0,
+            query_messages=query_hops,
+            reply_messages=outcome.reply_hops,
+            nodes_posted=0,
+            nodes_queried=len(targets),
+        )
+
+    def locate_or_raise(self, client_node: Hashable, port: Port) -> Address:
+        """Like :meth:`locate` but raise :class:`ServiceNotFoundError` on
+        failure."""
+        result = self.locate(client_node, port)
+        if not result.found:
+            raise ServiceNotFoundError(port)
+        return result.address  # type: ignore[return-value]
+
+    # -- whole match-making instances ----------------------------------------------
+
+    def match_instance(
+        self, server_node: Hashable, client_node: Hashable, port: Port
+    ) -> MatchResult:
+        """Measure one complete match-making instance for a pair of nodes.
+
+        Registers a throw-away server at ``server_node``, lets a client at
+        ``client_node`` locate it, and reports the combined costs — the
+        operational analogue of the paper's ``m(i, j)``.  The temporary
+        posting is withdrawn afterwards so repeated calls are independent,
+        and the withdrawal traffic is *not* charged to the returned result.
+        """
+        registration = self.register_server(server_node, port)
+        located = self.locate(client_node, port)
+        result = MatchResult(
+            found=located.found,
+            address=located.address,
+            rendezvous_nodes=located.rendezvous_nodes,
+            post_messages=registration.post_hops,
+            query_messages=located.query_messages,
+            reply_messages=located.reply_messages,
+            nodes_posted=len(self._strategy.post_set(server_node, port)),
+            nodes_queried=located.nodes_queried,
+        )
+        # Clean up without charging the instance (snapshot/restore counters).
+        snapshot = self._network.stats.snapshot()
+        self.deregister_server(registration)
+        self._network.stats.hops.clear()
+        self._network.stats.hops.update(snapshot.hops)
+        self._network.stats.messages.clear()
+        self._network.stats.messages.update(snapshot.messages)
+        return result
+
+    def average_cost(
+        self,
+        port: Port,
+        pairs: Optional[Sequence[Tuple[Hashable, Hashable]]] = None,
+        use_hops: bool = False,
+    ) -> float:
+        """Average match-making cost over node pairs.
+
+        ``pairs`` defaults to *all* ``n²`` (server, client) pairs, matching
+        the paper's ``m(n)`` definition (M4).  With ``use_hops=False`` the
+        cost of a pair is ``#P(i) + #Q(j)`` (the complete-network measure);
+        with ``use_hops=True`` it is the measured post + query hop count on
+        the actual topology, which includes routing overhead.
+        """
+        nodes = self._network.node_ids()
+        if pairs is None:
+            pairs = [(server, client) for server in nodes for client in nodes]
+        if not pairs:
+            raise ValueError("no pairs to average over")
+        total = 0.0
+        for server, client in pairs:
+            if use_hops:
+                result = self.match_instance(server, client, port)
+                total += result.match_messages
+            else:
+                total += self._strategy.pair_cost(server, client, port)
+        return total / len(pairs)

@@ -1,0 +1,334 @@
+"""The rendezvous matrix.
+
+Section 2.3: "The n × n matrix R, with entries r_ij (1 ≤ i,j ≤ n) is the
+rendez-vous matrix.  Each entry r_ij ... represents the set of rendez-vous
+nodes where the client at node j can find the location and port of the server
+at node i."
+
+:class:`RendezvousMatrix` materialises that matrix for a strategy over an
+explicit node universe and provides the quantities the paper's theory is
+stated in: the multiplicities ``k_i`` (how often node ``i`` occurs in R), the
+per-pair cost ``m(i,j)``, the average cost ``m(n)``, load statistics, and the
+structural checks (M1), (M2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .exceptions import StrategyError
+from .strategy import MatchMakingStrategy
+from .types import Port
+
+
+class RendezvousMatrix:
+    """The rendezvous matrix of a strategy over a fixed node universe.
+
+    Rows are indexed by server node, columns by client node; each entry is
+    the frozen set ``P(i) ∩ Q(j)``.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Hashable],
+        entries: Mapping[Tuple[Hashable, Hashable], FrozenSet[Hashable]],
+        post_sets: Mapping[Hashable, FrozenSet[Hashable]],
+        query_sets: Mapping[Hashable, FrozenSet[Hashable]],
+        strategy_name: str = "",
+    ) -> None:
+        self._nodes: List[Hashable] = list(nodes)
+        self._entries = {key: frozenset(value) for key, value in entries.items()}
+        self._post_sets = {node: frozenset(post_sets[node]) for node in self._nodes}
+        self._query_sets = {node: frozenset(query_sets[node]) for node in self._nodes}
+        self._strategy_name = strategy_name
+        for server in self._nodes:
+            for client in self._nodes:
+                if (server, client) not in self._entries:
+                    raise ValueError(
+                        f"missing matrix entry for pair ({server!r}, {client!r})"
+                    )
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_strategy(
+        cls,
+        strategy: MatchMakingStrategy,
+        nodes: Iterable[Hashable],
+        port: Optional[Port] = None,
+    ) -> "RendezvousMatrix":
+        """Materialise the matrix of ``strategy`` over ``nodes``."""
+        nodes = list(nodes)
+        post_sets = {node: strategy.post_set(node, port) for node in nodes}
+        query_sets = {node: strategy.query_set(node, port) for node in nodes}
+        entries = {
+            (server, client): post_sets[server] & query_sets[client]
+            for server in nodes
+            for client in nodes
+        }
+        return cls(nodes, entries, post_sets, query_sets, strategy.name)
+
+    @classmethod
+    def from_singleton_grid(
+        cls,
+        grid: Sequence[Sequence[Hashable]],
+        nodes: Optional[Sequence[Hashable]] = None,
+        strategy_name: str = "grid",
+    ) -> "RendezvousMatrix":
+        """Build a matrix from a grid of single rendezvous nodes.
+
+        ``grid[i][j]`` is *the* rendezvous node for server ``i`` and client
+        ``j`` — the representation used for the paper's printed examples,
+        where "we represent such singleton sets by their single element".
+        ``nodes`` defaults to ``1..n`` like the examples.  The implied
+        ``P(i)`` is the union of row ``i`` and ``Q(j)`` the union of column
+        ``j`` (the equality case of (M1), which the paper recommends "to
+        prevent waste in message passes").
+        """
+        n = len(grid)
+        if any(len(row) != n for row in grid):
+            raise ValueError("grid must be square")
+        if nodes is None:
+            nodes = list(range(1, n + 1))
+        if len(nodes) != n:
+            raise ValueError("nodes must have one entry per grid row")
+        post_sets = {
+            nodes[i]: frozenset(grid[i][j] for j in range(n)) for i in range(n)
+        }
+        query_sets = {
+            nodes[j]: frozenset(grid[i][j] for i in range(n)) for j in range(n)
+        }
+        entries = {
+            (nodes[i], nodes[j]): frozenset({grid[i][j]})
+            for i in range(n)
+            for j in range(n)
+        }
+        return cls(nodes, entries, post_sets, query_sets, strategy_name)
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[Hashable]:
+        """The node universe, in row/column order."""
+        return list(self._nodes)
+
+    @property
+    def n(self) -> int:
+        """The number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def strategy_name(self) -> str:
+        """Name of the strategy that generated the matrix (if any)."""
+        return self._strategy_name
+
+    def entry(self, server: Hashable, client: Hashable) -> FrozenSet[Hashable]:
+        """The rendezvous set ``r_ij``."""
+        try:
+            return self._entries[(server, client)]
+        except KeyError:
+            raise KeyError(f"no entry for pair ({server!r}, {client!r})") from None
+
+    def post_set(self, server: Hashable) -> FrozenSet[Hashable]:
+        """``P(server)`` as used to build the matrix."""
+        return self._post_sets[server]
+
+    def query_set(self, client: Hashable) -> FrozenSet[Hashable]:
+        """``Q(client)`` as used to build the matrix."""
+        return self._query_sets[client]
+
+    def singleton_grid(self) -> List[List[Hashable]]:
+        """The matrix as a grid of single nodes (requires singleton
+        entries).
+
+        This is the representation the paper prints for Examples 1-6; it
+        raises :class:`StrategyError` when any entry is not a singleton.
+        """
+        grid: List[List[Hashable]] = []
+        for server in self._nodes:
+            row = []
+            for client in self._nodes:
+                entry = self.entry(server, client)
+                if len(entry) != 1:
+                    raise StrategyError(
+                        f"entry ({server!r}, {client!r}) has {len(entry)} "
+                        f"rendezvous nodes; expected exactly 1"
+                    )
+                row.append(next(iter(entry)))
+            grid.append(row)
+        return grid
+
+    # -- paper quantities --------------------------------------------------------
+
+    def is_total(self) -> bool:
+        """Whether every pair has at least one rendezvous node
+        (deterministic success)."""
+        return all(self._entries[(s, c)] for s in self._nodes for c in self._nodes)
+
+    def multiplicities(self) -> Dict[Hashable, int]:
+        """The ``k_i``: how many matrix entries contain each node.
+
+        The paper counts "n² node entries, constituted by k_i ≥ 0 copies of
+        each node i"; for non-singleton entries every member counts once per
+        entry it appears in.
+        """
+        counts: Dict[Hashable, int] = {node: 0 for node in self._nodes}
+        for entry in self._entries.values():
+            for member in entry:
+                counts[member] = counts.get(member, 0) + 1
+        return counts
+
+    def total_entry_size(self) -> int:
+        """``Σ_i k_i`` — total rendezvous-node occurrences.
+
+        Equals ``n²`` exactly when every entry is a singleton; constraint (M2)
+        requires ``Σ k_i ≥ n²`` for totally successful strategies.
+        """
+        return sum(len(entry) for entry in self._entries.values())
+
+    def pair_cost(self, server: Hashable, client: Hashable) -> int:
+        """``m(i,j) = #P(i) + #Q(j)``."""
+        return len(self._post_sets[server]) + len(self._query_sets[client])
+
+    def average_cost(self) -> float:
+        """``m(n)``: the average of ``m(i,j)`` over all ``n²`` pairs (M4)."""
+        total = sum(
+            self.pair_cost(server, client)
+            for server in self._nodes
+            for client in self._nodes
+        )
+        return total / (self.n * self.n)
+
+    def min_cost(self) -> int:
+        """The cheapest pair's ``m(i,j)``."""
+        return min(
+            self.pair_cost(server, client)
+            for server in self._nodes
+            for client in self._nodes
+        )
+
+    def max_cost(self) -> int:
+        """The most expensive pair's ``m(i,j)``."""
+        return max(
+            self.pair_cost(server, client)
+            for server in self._nodes
+            for client in self._nodes
+        )
+
+    def weighted_average_cost(
+        self, weights: Mapping[Tuple[Hashable, Hashable], float]
+    ) -> float:
+        """Average of ``#P(i) + a_ij·#Q(j)`` (the paper's (M3') variant).
+
+        ``weights[(i, j)]`` is ``a_ij``, the relative frequency with which a
+        client at ``j`` calls a service at ``i`` compared to the posting
+        frequency; missing pairs default to 1.
+        """
+        total = 0.0
+        for server in self._nodes:
+            for client in self._nodes:
+                a = weights.get((server, client), 1.0)
+                total += len(self._post_sets[server]) + a * len(
+                    self._query_sets[client]
+                )
+        return total / (self.n * self.n)
+
+    def average_product(self) -> float:
+        """``(1/n²)·ΣΣ #P(i)·#Q(j)`` — the quantity bounded by
+        Proposition 1."""
+        total = sum(
+            len(self._post_sets[server]) * len(self._query_sets[client])
+            for server in self._nodes
+            for client in self._nodes
+        )
+        return total / (self.n * self.n)
+
+    def load_balance(self) -> Dict[str, float]:
+        """Summary statistics of the rendezvous load distribution.
+
+        Returns the min, max, mean and normalised imbalance (max/mean) of the
+        ``k_i`` over nodes that are used at all, plus the number of unused
+        nodes.  A truly distributed strategy has imbalance 1.0; the
+        centralized server has a single node carrying everything.
+        """
+        counts = self.multiplicities()
+        used = [count for count in counts.values() if count > 0]
+        unused = sum(1 for count in counts.values() if count == 0)
+        mean = sum(used) / len(used) if used else 0.0
+        return {
+            "min": float(min(used)) if used else 0.0,
+            "max": float(max(used)) if used else 0.0,
+            "mean": mean,
+            "imbalance": (max(used) / mean) if used and mean else 0.0,
+            "unused_nodes": float(unused),
+        }
+
+    def verify_m1(self) -> None:
+        """Check constraint (M1): every row's union ⊆ P(i) and every
+        column's union ⊆ Q(j)."""
+        for server in self._nodes:
+            row_union = frozenset().union(
+                *(self.entry(server, client) for client in self._nodes)
+            )
+            if not row_union <= self._post_sets[server]:
+                raise StrategyError(
+                    f"(M1) violated: row union of {server!r} exceeds P({server!r})"
+                )
+        for client in self._nodes:
+            column_union = frozenset().union(
+                *(self.entry(server, client) for server in self._nodes)
+            )
+            if not column_union <= self._query_sets[client]:
+                raise StrategyError(
+                    f"(M1) violated: column union of {client!r} exceeds Q({client!r})"
+                )
+
+    def is_wasteful(self) -> bool:
+        """Whether some posted/queried node is never a rendezvous node for
+        that row/column.
+
+        The paper notes the inclusions of (M1) can be made equalities "to
+        prevent waste in message passes"; a wasteful strategy addresses nodes
+        that can never produce a match for the pair at hand.
+        """
+        for server in self._nodes:
+            row_union = frozenset().union(
+                *(self.entry(server, client) for client in self._nodes)
+            )
+            if row_union != self._post_sets[server]:
+                return True
+        for client in self._nodes:
+            column_union = frozenset().union(
+                *(self.entry(server, client) for server in self._nodes)
+            )
+            if column_union != self._query_sets[client]:
+                return True
+        return False
+
+    def min_redundancy(self) -> int:
+        """The smallest entry size — ``f+1`` fault tolerance per
+        section 2.4."""
+        return min(len(entry) for entry in self._entries.values())
+
+    def format_grid(self) -> str:
+        """Render singleton matrices the way the paper prints them."""
+        grid = self.singleton_grid()
+        width = max(len(str(cell)) for row in grid for cell in row)
+        lines = []
+        for row in grid:
+            lines.append(" ".join(str(cell).rjust(width) for cell in row))
+        return "\n".join(lines)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RendezvousMatrix):
+            return NotImplemented
+        return (
+            self._nodes == other._nodes
+            and self._entries == other._entries
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RendezvousMatrix(n={self.n}, strategy={self._strategy_name!r}, "
+            f"m(n)={self.average_cost():.2f})"
+        )

@@ -1,0 +1,60 @@
+"""Store-and-forward network simulation substrate.
+
+This subpackage implements everything the paper assumes of the underlying
+network: an undirected communication graph, per-node routing tables, per-node
+posting caches, spanning-tree broadcast, message-pass (hop) accounting, a
+logical clock, and fault injection.
+"""
+
+from .broadcast import DeliveryOutcome, flood, multicast, unicast
+from .cache import BoundedCache, ExpiringCache, NodeCache
+from .events import EventLoop
+from .faults import FaultPlan, max_tolerated_faults, random_fault_plan, surviving_graph
+from .graph import Graph, complete_graph
+from .node import Node
+from .relay import (
+    LoadReport,
+    RelayRoute,
+    compare_direct_vs_relay,
+    direct_route,
+    measure_load,
+    two_phase_route,
+)
+from .routing import RoutingTable, multicast_tree_cost, route_cost
+from .simulator import Network, QueryOutcome
+from .stats import CONTROL, PAYLOAD, POST, QUERY, REPLY, MessageStats
+
+__all__ = [
+    "BoundedCache",
+    "CONTROL",
+    "DeliveryOutcome",
+    "EventLoop",
+    "ExpiringCache",
+    "FaultPlan",
+    "Graph",
+    "LoadReport",
+    "MessageStats",
+    "Network",
+    "Node",
+    "NodeCache",
+    "PAYLOAD",
+    "POST",
+    "QUERY",
+    "QueryOutcome",
+    "REPLY",
+    "RelayRoute",
+    "RoutingTable",
+    "compare_direct_vs_relay",
+    "complete_graph",
+    "direct_route",
+    "flood",
+    "measure_load",
+    "max_tolerated_faults",
+    "multicast",
+    "multicast_tree_cost",
+    "random_fault_plan",
+    "route_cost",
+    "surviving_graph",
+    "two_phase_route",
+    "unicast",
+]

@@ -1,0 +1,149 @@
+"""Spanning-tree broadcast and multicast cost models.
+
+The paper charges broadcast/multicast the number of tree edges used: when the
+addressed set induces a connected subgraph containing the sender and messages
+are broadcast "over spanning trees in these subgraphs, then the number of
+message passes m(i,j) equals the number of addressed nodes #P(i)+#Q(j)"
+(section 2.3.5).  Otherwise there is a routing overhead.  This module computes
+both the reached set and the exact hop count for three delivery modes:
+
+``unicast``
+    One point-to-point message per destination, each along a shortest path.
+``multicast``
+    One copy flows down a BFS tree rooted at the sender, duplicated at branch
+    points; the cost is the number of distinct tree edges used.
+``flood``
+    Full network broadcast along a spanning tree of the (surviving) network —
+    the paper's Ω(n) conventional broadcast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterable, Optional, Sequence, Set, Tuple
+
+from ..core.exceptions import UnknownNodeError
+from .faults import FaultPlan, surviving_graph
+from .graph import Graph
+from .routing import RoutingTable
+
+
+@dataclass(frozen=True)
+class DeliveryOutcome:
+    """Result of delivering a message from one node to a set of targets."""
+
+    reached: FrozenSet[Hashable]
+    hops: int
+    unreachable: FrozenSet[Hashable]
+
+    @property
+    def fully_delivered(self) -> bool:
+        """Whether every requested destination was reached."""
+        return not self.unreachable
+
+
+def _effective_graph(graph: Graph, faults: Optional[FaultPlan]) -> Graph:
+    if faults is None or faults.fault_count == 0:
+        return graph
+    return surviving_graph(graph, faults)
+
+
+def unicast(
+    graph: Graph,
+    table: RoutingTable,
+    source: Hashable,
+    destinations: Iterable[Hashable],
+    faults: Optional[FaultPlan] = None,
+) -> DeliveryOutcome:
+    """Deliver one message per destination along shortest surviving paths."""
+    if source not in graph:
+        raise UnknownNodeError(source)
+    effective = _effective_graph(graph, faults)
+    if faults is not None and not faults.node_is_up(source):
+        targets = frozenset(d for d in destinations if d != source)
+        return DeliveryOutcome(frozenset(), 0, targets)
+    live_table = table if effective is graph else RoutingTable(effective)
+    reached: Set[Hashable] = set()
+    unreachable: Set[Hashable] = set()
+    hops = 0
+    for destination in destinations:
+        if destination == source:
+            reached.add(destination)
+            continue
+        if destination not in effective or not live_table.has_route(
+            source, destination
+        ):
+            unreachable.add(destination)
+            continue
+        hops += live_table.distance(source, destination)
+        reached.add(destination)
+    return DeliveryOutcome(frozenset(reached), hops, frozenset(unreachable))
+
+
+def multicast(
+    graph: Graph,
+    source: Hashable,
+    destinations: Iterable[Hashable],
+    faults: Optional[FaultPlan] = None,
+) -> DeliveryOutcome:
+    """Deliver along a BFS tree; cost = number of distinct tree edges used."""
+    if source not in graph:
+        raise UnknownNodeError(source)
+    effective = _effective_graph(graph, faults)
+    targets = {d for d in destinations}
+    if faults is not None and not faults.node_is_up(source):
+        return DeliveryOutcome(frozenset(), 0, frozenset(targets - {source}))
+    if source not in effective:
+        return DeliveryOutcome(frozenset(), 0, frozenset(targets - {source}))
+    parent = effective.spanning_tree(source)
+    reached: Set[Hashable] = set()
+    unreachable: Set[Hashable] = set()
+    edges: Set[FrozenSet[Hashable]] = set()
+    for destination in targets:
+        if destination == source:
+            reached.add(destination)
+            continue
+        if destination not in parent:
+            unreachable.add(destination)
+            continue
+        node = destination
+        while node != source:
+            edges.add(frozenset((node, parent[node])))
+            node = parent[node]
+        reached.add(destination)
+    return DeliveryOutcome(frozenset(reached), len(edges), frozenset(unreachable))
+
+
+def flood(
+    graph: Graph,
+    source: Hashable,
+    faults: Optional[FaultPlan] = None,
+) -> DeliveryOutcome:
+    """Broadcast to every reachable node along a spanning tree.
+
+    Cost is the number of spanning-tree edges, i.e. ``(#reachable nodes) - 1``
+    — the conventional Ω(n) broadcast of section 1.4.
+    """
+    if source not in graph:
+        raise UnknownNodeError(source)
+    effective = _effective_graph(graph, faults)
+    all_nodes = set(graph.nodes)
+    if faults is not None and not faults.node_is_up(source):
+        return DeliveryOutcome(frozenset(), 0, frozenset(all_nodes - {source}))
+    if source not in effective:
+        return DeliveryOutcome(frozenset(), 0, frozenset(all_nodes - {source}))
+    component = effective.connected_component(source)
+    unreachable = frozenset(all_nodes - set(component))
+    return DeliveryOutcome(frozenset(component), max(len(component) - 1, 0), unreachable)
+
+
+def delivery_cost_lower_bound(destination_count: int) -> int:
+    """Minimum hops to inform ``destination_count`` other nodes.
+
+    Every newly informed node requires at least one message pass, so the cost
+    of addressing ``k`` other nodes is at least ``k``.  This is the bound that
+    makes #P + #Q a lower bound on message passes in complete networks.
+    """
+    if destination_count < 0:
+        raise ValueError("destination_count must be non-negative")
+    return destination_count

@@ -1,0 +1,91 @@
+"""A minimal discrete-event scheduler.
+
+Most of the paper's algorithms are analysed per match-making *instance* and do
+not need global time.  Lighthouse Locate (section 4) does: servers beam every
+``delta`` time units, postings evaporate after ``d`` time units, and clients
+escalate their beam length over time.  :class:`EventLoop` provides the logical
+clock and ordered callback execution those simulations need.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class EventLoop:
+    """A priority-queue based discrete-event loop with integer time."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._now = 0
+        self._processed = 0
+
+    @property
+    def now(self) -> int:
+        """The current logical time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled, not yet executed events."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule_at(self, when: int, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to run at absolute time ``when``."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: now={self._now}, when={when}"
+            )
+        heapq.heappush(self._queue, (when, next(self._sequence), action))
+
+    def schedule_after(self, delay: int, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.schedule_at(self._now + delay, action)
+
+    def step(self) -> bool:
+        """Run the earliest pending event.  Returns ``False`` when idle."""
+        if not self._queue:
+            return False
+        when, _, action = heapq.heappop(self._queue)
+        self._now = when
+        action()
+        self._processed += 1
+        return True
+
+    def run_until(self, deadline: int, max_events: Optional[int] = None) -> int:
+        """Run events with time ≤ ``deadline``; return how many ran.
+
+        ``max_events`` guards against runaway self-rescheduling loops.
+        """
+        executed = 0
+        while self._queue and self._queue[0][0] <= deadline:
+            if max_events is not None and executed >= max_events:
+                break
+            self.step()
+            executed += 1
+        self._now = max(self._now, deadline)
+        return executed
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Run until no events remain (bounded by ``max_events``)."""
+        executed = 0
+        while self._queue and executed < max_events:
+            self.step()
+            executed += 1
+        return executed
+
+    def advance(self, delta: int) -> int:
+        """Advance the clock by ``delta``, running due events."""
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        return self.run_until(self._now + delta)

@@ -1,0 +1,111 @@
+"""Fault injection: node crashes, link failures and surviving subnetworks.
+
+Section 2.4 of the paper discusses robustness: a distributed name server
+should keep matching surviving clients with surviving servers "no matter how
+many node crashes occur, as long as a surviving network remains".  The
+:class:`FaultPlan` describes which nodes/links fail; the simulator consults it
+and analysis code uses :func:`surviving_graph` to reason about the surviving
+subnetwork.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, Iterable, Set, Tuple
+
+from .graph import Graph
+
+
+@dataclass
+class FaultPlan:
+    """A set of crashed nodes and failed links."""
+
+    crashed_nodes: Set[Hashable] = field(default_factory=set)
+    failed_links: Set[FrozenSet] = field(default_factory=set)
+
+    def crash_node(self, node: Hashable) -> None:
+        """Mark ``node`` as crashed."""
+        self.crashed_nodes.add(node)
+
+    def recover_node(self, node: Hashable) -> None:
+        """Mark ``node`` as recovered."""
+        self.crashed_nodes.discard(node)
+
+    def fail_link(self, u: Hashable, v: Hashable) -> None:
+        """Mark the link ``{u, v}`` as failed."""
+        self.failed_links.add(frozenset((u, v)))
+
+    def restore_link(self, u: Hashable, v: Hashable) -> None:
+        """Mark the link ``{u, v}`` as restored."""
+        self.failed_links.discard(frozenset((u, v)))
+
+    def node_is_up(self, node: Hashable) -> bool:
+        """Whether ``node`` is up under this plan."""
+        return node not in self.crashed_nodes
+
+    def link_is_up(self, u: Hashable, v: Hashable) -> bool:
+        """Whether the link ``{u, v}`` is usable under this plan."""
+        return (
+            frozenset((u, v)) not in self.failed_links
+            and self.node_is_up(u)
+            and self.node_is_up(v)
+        )
+
+    @property
+    def fault_count(self) -> int:
+        """Total number of faults (crashed nodes plus failed links)."""
+        return len(self.crashed_nodes) + len(self.failed_links)
+
+    def clear(self) -> None:
+        """Remove all faults."""
+        self.crashed_nodes.clear()
+        self.failed_links.clear()
+
+
+def surviving_graph(graph: Graph, plan: FaultPlan) -> Graph:
+    """The subnetwork that survives ``plan``: up nodes and up links only."""
+    survivors = [node for node in graph.nodes if plan.node_is_up(node)]
+    surviving = Graph(nodes=survivors)
+    for u, v in graph.edges:
+        if plan.link_is_up(u, v):
+            surviving.add_edge(u, v)
+    return surviving
+
+
+def random_fault_plan(
+    graph: Graph,
+    node_failures: int,
+    rng: random.Random,
+    protected: Iterable[Hashable] = (),
+) -> FaultPlan:
+    """Crash ``node_failures`` uniformly random nodes, never the protected
+    ones.
+
+    Used by robustness experiments: crash ``f`` random nodes (excluding the
+    client and server hosts) and check whether the match still succeeds.
+    """
+    protected_set = set(protected)
+    candidates = [node for node in graph.nodes if node not in protected_set]
+    if node_failures > len(candidates):
+        raise ValueError(
+            f"cannot crash {node_failures} nodes; only {len(candidates)} "
+            f"unprotected nodes exist"
+        )
+    plan = FaultPlan()
+    for node in rng.sample(candidates, node_failures):
+        plan.crash_node(node)
+    return plan
+
+
+def max_tolerated_faults(rendezvous_size: int) -> int:
+    """How many arbitrary node crashes a rendezvous of the given size
+    tolerates.
+
+    Section 2.4: choosing ``#(P(i) ∩ Q(j)) ≥ f + 1`` tolerates ``f`` faults,
+    so a rendezvous set of size ``s`` tolerates ``s - 1`` crashes of
+    rendezvous nodes.
+    """
+    if rendezvous_size < 0:
+        raise ValueError("rendezvous_size must be non-negative")
+    return max(rendezvous_size - 1, 0)

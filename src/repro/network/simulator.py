@@ -1,0 +1,416 @@
+"""The store-and-forward network simulator.
+
+:class:`Network` binds together the communication graph, per-node caches,
+routing tables, the logical clock, fault injection and message-pass
+accounting.  Match-making strategies and the service model run *on top of* a
+``Network``: they decide which nodes to address; the network delivers the
+messages and charges the hops.
+
+Delivery modes
+--------------
+``unicast``
+    each addressed node gets its own point-to-point message routed along a
+    shortest path (cost = sum of distances);
+``multicast``
+    one message flows down a BFS tree covering the addressed nodes
+    (cost = number of tree edges — the paper's spanning-tree broadcast);
+``ideal``
+    every addressed node costs exactly one hop, which models the complete
+    network of section 2 regardless of the underlying topology.  This mode is
+    what the lower-bound experiments use, because the paper's ``m(i,j) =
+    #P(i) + #Q(j)`` applies to complete networks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+from ..core.exceptions import NodeDownError, UnknownNodeError
+from ..core.types import Address, Port, PostRecord
+from .broadcast import DeliveryOutcome, flood, multicast, unicast
+from .cache import NodeCache
+from .events import EventLoop
+from .faults import FaultPlan
+from .graph import Graph
+from .node import Node
+from .routing import RoutingTable
+from .stats import POST, QUERY, REPLY, PAYLOAD, MessageStats
+
+#: Delivery modes accepted by :meth:`Network.deliver`.
+DELIVERY_MODES = ("unicast", "multicast", "ideal")
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Result of querying a set of nodes for a port."""
+
+    records: Tuple[PostRecord, ...]
+    responding_nodes: FrozenSet[Hashable]
+    queried_nodes: FrozenSet[Hashable]
+    query_hops: int
+    reply_hops: int
+
+    @property
+    def found(self) -> bool:
+        """Whether any queried node knew an address for the port."""
+        return bool(self.records)
+
+    def freshest(self) -> Optional[PostRecord]:
+        """The freshest record found, or ``None``."""
+        if not self.records:
+            return None
+        return max(self.records, key=lambda r: (r.timestamp, repr(r.address)))
+
+
+class Network:
+    """A simulated store-and-forward network.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph.  It is copied defensively so later mutation
+        of the argument does not affect the simulator.
+    delivery_mode:
+        Default delivery mode for post/query traffic (see module docstring).
+    cache_factory:
+        Callable producing the cache for each node; defaults to unbounded
+        :class:`NodeCache`.
+    seed:
+        Seed of the network's private random generator (used only by
+        randomised helpers such as random node selection).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        delivery_mode: str = "multicast",
+        cache_factory=NodeCache,
+        seed: int = 0,
+    ) -> None:
+        if delivery_mode not in DELIVERY_MODES:
+            raise ValueError(
+                f"unknown delivery mode {delivery_mode!r}; "
+                f"expected one of {DELIVERY_MODES}"
+            )
+        self._graph = graph.copy()
+        self._delivery_mode = delivery_mode
+        self._nodes: Dict[Hashable, Node] = {
+            node_id: Node(node_id, cache_factory()) for node_id in self._graph.nodes
+        }
+        self._routing = RoutingTable(self._graph)
+        self._faults = FaultPlan()
+        self._stats = MessageStats()
+        self._clock = EventLoop()
+        self._rng = random.Random(seed)
+        self._timestamps = itertools.count(1)
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def graph(self) -> Graph:
+        """The (full, fault-free) communication graph."""
+        return self._graph
+
+    @property
+    def routing(self) -> RoutingTable:
+        """Routing tables over the fault-free graph."""
+        return self._routing
+
+    @property
+    def stats(self) -> MessageStats:
+        """Cumulative message-pass statistics."""
+        return self._stats
+
+    @property
+    def clock(self) -> EventLoop:
+        """The logical clock / event loop."""
+        return self._clock
+
+    @property
+    def faults(self) -> FaultPlan:
+        """The current fault plan."""
+        return self._faults
+
+    @property
+    def rng(self) -> random.Random:
+        """The network's private random generator."""
+        return self._rng
+
+    @property
+    def delivery_mode(self) -> str:
+        """The default delivery mode."""
+        return self._delivery_mode
+
+    @property
+    def size(self) -> int:
+        """Number of nodes ``n``."""
+        return self._graph.node_count
+
+    def node(self, node_id: Hashable) -> Node:
+        """The :class:`Node` object for ``node_id``."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def nodes(self) -> List[Node]:
+        """All node objects."""
+        return list(self._nodes.values())
+
+    def node_ids(self) -> List[Hashable]:
+        """All node identifiers."""
+        return list(self._nodes)
+
+    def next_timestamp(self) -> int:
+        """A fresh, strictly increasing timestamp for postings."""
+        return next(self._timestamps)
+
+    # -- fault injection ------------------------------------------------------
+
+    def crash_node(self, node_id: Hashable) -> None:
+        """Crash a node: it loses its cache and stops handling messages."""
+        self.node(node_id).crash()
+        self._faults.crash_node(node_id)
+
+    def recover_node(self, node_id: Hashable) -> None:
+        """Recover a crashed node (with an empty cache)."""
+        self.node(node_id).recover()
+        self._faults.recover_node(node_id)
+
+    def fail_link(self, u: Hashable, v: Hashable) -> None:
+        """Fail the link between ``u`` and ``v``."""
+        if not self._graph.has_edge(u, v):
+            raise UnknownNodeError((u, v))
+        self._faults.fail_link(u, v)
+
+    def restore_link(self, u: Hashable, v: Hashable) -> None:
+        """Restore a failed link."""
+        self._faults.restore_link(u, v)
+
+    def node_is_up(self, node_id: Hashable) -> bool:
+        """Whether ``node_id`` is currently up."""
+        return self.node(node_id).alive and self._faults.node_is_up(node_id)
+
+    def up_nodes(self) -> List[Hashable]:
+        """Identifiers of all currently-up nodes."""
+        return [node_id for node_id in self._nodes if self.node_is_up(node_id)]
+
+    # -- message delivery -----------------------------------------------------
+
+    def _active_faults(self) -> Optional[FaultPlan]:
+        return self._faults if self._faults.fault_count else None
+
+    def deliver(
+        self,
+        source: Hashable,
+        destinations: Iterable[Hashable],
+        category: str,
+        mode: Optional[str] = None,
+    ) -> DeliveryOutcome:
+        """Deliver a message from ``source`` to each destination.
+
+        Returns which destinations were reached and charges the hops to
+        ``category`` in :attr:`stats`.  Crashed destinations and destinations
+        cut off by failed links count as unreachable.
+        """
+        if source not in self._graph:
+            raise UnknownNodeError(source)
+        if not self.node_is_up(source):
+            raise NodeDownError(source)
+        mode = mode or self._delivery_mode
+        destinations = list(destinations)
+        faults = self._active_faults()
+
+        if mode == "ideal":
+            reached = set()
+            unreachable = set()
+            hops = 0
+            for destination in destinations:
+                if destination not in self._graph:
+                    raise UnknownNodeError(destination)
+                if destination == source:
+                    reached.add(destination)
+                elif self.node_is_up(destination):
+                    reached.add(destination)
+                    hops += 1
+                else:
+                    unreachable.add(destination)
+            outcome = DeliveryOutcome(
+                frozenset(reached), hops, frozenset(unreachable)
+            )
+        elif mode == "unicast":
+            outcome = unicast(self._graph, self._routing, source, destinations, faults)
+        elif mode == "multicast":
+            outcome = multicast(self._graph, source, destinations, faults)
+        else:  # pragma: no cover - guarded in constructor and here
+            raise ValueError(f"unknown delivery mode {mode!r}")
+
+        # Drop destinations whose node object crashed without a fault-plan
+        # entry (defensive; crash_node keeps them in sync).
+        dead = frozenset(
+            d for d in outcome.reached if d != source and not self.node_is_up(d)
+        )
+        if dead:
+            outcome = DeliveryOutcome(
+                outcome.reached - dead, outcome.hops, outcome.unreachable | dead
+            )
+        self._stats.record(category, outcome.hops, message_count=len(destinations))
+        return outcome
+
+    def broadcast(self, source: Hashable, category: str) -> DeliveryOutcome:
+        """Flood the whole (surviving) network from ``source``."""
+        if not self.node_is_up(source):
+            raise NodeDownError(source)
+        outcome = flood(self._graph, source, self._active_faults())
+        self._stats.record(category, outcome.hops, message_count=1)
+        return outcome
+
+    # -- match-making primitives ----------------------------------------------
+
+    def post(
+        self,
+        server_node: Hashable,
+        port: Port,
+        targets: Iterable[Hashable],
+        server_id: str = "",
+        mode: Optional[str] = None,
+        address: Optional[Address] = None,
+    ) -> DeliveryOutcome:
+        """Post ``(port, address-of-server_node)`` at each target node.
+
+        Only targets actually reached store the record; this is what makes a
+        subsequent query fail if, e.g., all rendezvous nodes crashed.
+        """
+        record = PostRecord(
+            port=port,
+            address=address if address is not None else Address(server_node),
+            timestamp=self.next_timestamp(),
+            server_id=server_id or f"server@{server_node}",
+        )
+        outcome = self.deliver(server_node, targets, POST, mode=mode)
+        for target in outcome.reached:
+            self._nodes[target].accept_post(record)
+        return outcome
+
+    def unpost(
+        self,
+        server_node: Hashable,
+        port: Port,
+        targets: Iterable[Hashable],
+        server_id: str = "",
+        mode: Optional[str] = None,
+    ) -> DeliveryOutcome:
+        """Withdraw a posting from each reachable target node."""
+        outcome = self.deliver(server_node, targets, POST, mode=mode)
+        sid = server_id or f"server@{server_node}"
+        for target in outcome.reached:
+            self._nodes[target].forget_server(port, sid)
+        return outcome
+
+    def query(
+        self,
+        client_node: Hashable,
+        port: Port,
+        targets: Iterable[Hashable],
+        mode: Optional[str] = None,
+        collect_all: bool = False,
+    ) -> QueryOutcome:
+        """Query each target node for ``port`` and collect replies.
+
+        Reply hops are charged separately (category ``reply``): each node that
+        has a matching record sends one reply routed back to the client (one
+        hop in ``ideal`` mode, shortest-path distance otherwise).
+        """
+        targets = list(targets)
+        outcome = self.deliver(client_node, targets, QUERY, mode=mode)
+        records: List[PostRecord] = []
+        responders: List[Hashable] = []
+        reply_hops = 0
+        mode = mode or self._delivery_mode
+        faults = self._active_faults()
+        reply_table = (
+            self._routing
+            if faults is None
+            else RoutingTable(_surviving(self._graph, faults))
+        )
+        for target in outcome.reached:
+            node = self._nodes[target]
+            found = (
+                node.answer_query_all(port) if collect_all else
+                ([node.answer_query(port)] if node.answer_query(port) else [])
+            )
+            if not found:
+                continue
+            records.extend(found)
+            responders.append(target)
+            if target == client_node:
+                continue
+            if mode == "ideal":
+                reply_hops += 1
+            else:
+                if reply_table.has_route(target, client_node):
+                    reply_hops += reply_table.distance(target, client_node)
+                else:
+                    # The reply cannot come back; drop the records from this
+                    # responder.
+                    for record in node.answer_query_all(port) if collect_all else found:
+                        if record in records:
+                            records.remove(record)
+                    responders.remove(target)
+        self._stats.record(REPLY, reply_hops, message_count=len(responders))
+        return QueryOutcome(
+            records=tuple(records),
+            responding_nodes=frozenset(responders),
+            queried_nodes=frozenset(outcome.reached),
+            query_hops=outcome.hops,
+            reply_hops=reply_hops,
+        )
+
+    def send_payload(self, source: Hashable, destination: Hashable) -> int:
+        """Send an application message (request/reply) point-to-point.
+
+        Returns the hop count, charged to the ``payload`` category.  Raises
+        :class:`NoRouteError` via the routing table when the destination is
+        unreachable.
+        """
+        if not self.node_is_up(source):
+            raise NodeDownError(source)
+        if not self.node_is_up(destination):
+            raise NodeDownError(destination)
+        faults = self._active_faults()
+        table = (
+            self._routing
+            if faults is None
+            else RoutingTable(_surviving(self._graph, faults))
+        )
+        hops = 0 if source == destination else table.distance(source, destination)
+        self._stats.record(PAYLOAD, hops, message_count=1)
+        return hops
+
+    def cache_sizes(self) -> Dict[Hashable, int]:
+        """Current cache size of every node."""
+        return {node_id: node.cache_size() for node_id, node in self._nodes.items()}
+
+    def max_cache_size(self) -> int:
+        """The largest cache in the network (the paper's cache-size metric)."""
+        sizes = self.cache_sizes()
+        return max(sizes.values(), default=0)
+
+    def reset_stats(self) -> None:
+        """Zero the message-pass counters."""
+        self._stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network(n={self.size}, mode={self._delivery_mode!r}, "
+            f"hops={self._stats.total_hops})"
+        )
+
+
+def _surviving(graph: Graph, faults: FaultPlan) -> Graph:
+    from .faults import surviving_graph
+
+    return surviving_graph(graph, faults)

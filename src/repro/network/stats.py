@@ -1,0 +1,97 @@
+"""Message-pass accounting.
+
+"A message pass or hop consists of the sending of a message from one node to
+one of its direct neighbors" (section 2.1).  Every simulator operation charges
+its hops to a :class:`MessageStats` instance, broken down by category so that
+experiments can separate posting, querying, replying and payload traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+
+#: Categories used by the match-making engine.
+POST = "post"
+QUERY = "query"
+REPLY = "reply"
+PAYLOAD = "payload"
+CONTROL = "control"
+
+
+@dataclass
+class MessageStats:
+    """Counters of message passes (hops) and of messages, by category."""
+
+    hops: Dict[str, int] = field(default_factory=dict)
+    messages: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, category: str, hop_count: int, message_count: int = 1) -> None:
+        """Charge ``hop_count`` hops and ``message_count`` messages to
+        ``category``."""
+        if hop_count < 0 or message_count < 0:
+            raise ValueError("counts must be non-negative")
+        self.hops[category] = self.hops.get(category, 0) + hop_count
+        self.messages[category] = self.messages.get(category, 0) + message_count
+
+    def merge(self, other: "MessageStats") -> None:
+        """Add another stats object into this one."""
+        for category, count in other.hops.items():
+            self.hops[category] = self.hops.get(category, 0) + count
+        for category, count in other.messages.items():
+            self.messages[category] = self.messages.get(category, 0) + count
+
+    def hops_for(self, category: str) -> int:
+        """Hops charged to ``category``."""
+        return self.hops.get(category, 0)
+
+    def messages_for(self, category: str) -> int:
+        """Messages charged to ``category``."""
+        return self.messages.get(category, 0)
+
+    @property
+    def total_hops(self) -> int:
+        """All hops across categories."""
+        return sum(self.hops.values())
+
+    @property
+    def total_messages(self) -> int:
+        """All messages across categories."""
+        return sum(self.messages.values())
+
+    @property
+    def match_making_hops(self) -> int:
+        """Hops attributable to match-making proper: posting plus querying.
+
+        This is the quantity the paper's ``m(i, j)`` measures (M3).
+        """
+        return self.hops_for(POST) + self.hops_for(QUERY)
+
+    def snapshot(self) -> "MessageStats":
+        """An independent copy of the current counters."""
+        return MessageStats(hops=dict(self.hops), messages=dict(self.messages))
+
+    def diff(self, earlier: "MessageStats") -> "MessageStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        hops = {
+            category: count - earlier.hops.get(category, 0)
+            for category, count in self.hops.items()
+        }
+        messages = {
+            category: count - earlier.messages.get(category, 0)
+            for category, count in self.messages.items()
+        }
+        return MessageStats(
+            hops={k: v for k, v in hops.items() if v},
+            messages={k: v for k, v in messages.items() if v},
+        )
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        """Iterate ``(category, hops)`` pairs."""
+        return iter(self.hops.items())
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.hops.clear()
+        self.messages.clear()

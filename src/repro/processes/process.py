@@ -1,0 +1,74 @@
+"""Process base class for the service model.
+
+Section 1.3 of the paper (the Amoeba-style service model): "Services are
+offered by a number of server processes, distributed over the network.
+Client processes send requests to services; the services carry out these
+requests and return a reply. ... So a process can be a client, a server, or
+both, and change its role dynamically."
+
+Processes live at a network node, can migrate to another node and can die;
+they never have permanent addresses — only their current node's address.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Optional
+
+from ..core.exceptions import ProcessLifecycleError
+from ..core.types import Address
+
+_process_ids = itertools.count(1)
+
+
+class Process:
+    """A process residing at a network node."""
+
+    def __init__(self, node: Hashable, name: str = "") -> None:
+        self._pid = next(_process_ids)
+        self._node = node
+        self._name = name or f"process-{self._pid}"
+        self._alive = True
+
+    @property
+    def pid(self) -> int:
+        """The process identifier (unique within the Python process)."""
+        return self._pid
+
+    @property
+    def name(self) -> str:
+        """Human-readable process name."""
+        return self._name
+
+    @property
+    def node(self) -> Hashable:
+        """The node this process currently resides at."""
+        return self._node
+
+    @property
+    def address(self) -> Address:
+        """The process's current address (its node's address)."""
+        return Address(self._node)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the process is alive."""
+        return self._alive
+
+    def require_alive(self) -> None:
+        """Raise :class:`ProcessLifecycleError` if the process has died."""
+        if not self._alive:
+            raise ProcessLifecycleError(f"{self._name} (pid {self._pid}) is dead")
+
+    def kill(self) -> None:
+        """Terminate the process."""
+        self._alive = False
+
+    def _move_to(self, node: Hashable) -> None:
+        """Relocate the process (used by the system's migration logic)."""
+        self.require_alive()
+        self._node = node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "alive" if self._alive else "dead"
+        return f"{type(self).__name__}({self._name!r}, node={self._node!r}, {status})"

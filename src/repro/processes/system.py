@@ -1,0 +1,309 @@
+"""The distributed system facade: processes + match-making + network.
+
+:class:`DistributedSystem` is the Amoeba-style substrate the paper's
+introduction motivates: mobile server and client processes on a pool of
+processors, a service model where "every job in the system is executed by a
+dynamic network of servers executing each other's requests", and a
+distributed name server (any :class:`~repro.core.strategy.MatchMakingStrategy`)
+matching the two.
+
+The request path is:
+
+1. the client consults its private address cache; on a miss (or after a
+   stale address) it runs a locate through the match-maker;
+2. the request payload is routed point-to-point to the located address;
+3. if no accepting server is at that address any more (it migrated, died or
+   stopped accepting), the address is stale: the client forgets it, re-runs
+   the locate and retries — timestamped postings make the freshest address
+   win (section 2.1, assumption 3);
+4. the reply is routed back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..core.exceptions import (
+    NoRouteError,
+    NodeDownError,
+    ServiceError,
+    ServiceNotFoundError,
+)
+from ..core.matchmaker import MatchMaker, ServerRegistration
+from ..core.strategy import MatchMakingStrategy
+from ..core.types import Address, Port
+from ..network.simulator import Network
+from .client import ClientProcess
+from .server import RequestHandler, ServerProcess
+from .service import Service, ServiceDirectory
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Result of one client request through the system."""
+
+    ok: bool
+    reply: object = None
+    server: Optional[ServerProcess] = None
+    locates: int = 0
+    retries: int = 0
+    used_cached_address: bool = False
+    error: str = ""
+
+
+@dataclass
+class SystemStats:
+    """System-wide counters."""
+
+    requests: int = 0
+    successful_requests: int = 0
+    locates: int = 0
+    stale_addresses: int = 0
+    migrations: int = 0
+
+
+class DistributedSystem:
+    """Mobile processes plus a pluggable distributed name server."""
+
+    def __init__(
+        self,
+        network: Network,
+        strategy: MatchMakingStrategy,
+        delivery_mode: Optional[str] = None,
+        max_retries: int = 2,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self._network = network
+        self._matchmaker = MatchMaker(network, strategy, delivery_mode=delivery_mode)
+        self._directory = ServiceDirectory()
+        self._servers: Dict[int, ServerProcess] = {}
+        self._clients: Dict[int, ClientProcess] = {}
+        self._registrations: Dict[int, ServerRegistration] = {}
+        self._max_retries = max_retries
+        self._stats = SystemStats()
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def network(self) -> Network:
+        """The underlying network simulator."""
+        return self._network
+
+    @property
+    def matchmaker(self) -> MatchMaker:
+        """The match-making engine (name server)."""
+        return self._matchmaker
+
+    @property
+    def directory(self) -> ServiceDirectory:
+        """The directory of known services."""
+        return self._directory
+
+    @property
+    def stats(self) -> SystemStats:
+        """System-wide counters."""
+        return self._stats
+
+    def servers(self) -> List[ServerProcess]:
+        """All server processes (including dead ones)."""
+        return list(self._servers.values())
+
+    def clients(self) -> List[ClientProcess]:
+        """All client processes."""
+        return list(self._clients.values())
+
+    # -- process management -------------------------------------------------------
+
+    def create_server(
+        self,
+        node: Hashable,
+        port: Port,
+        handler: Optional[RequestHandler] = None,
+        name: str = "",
+    ) -> ServerProcess:
+        """Start a server process at ``node`` and advertise it.
+
+        The server's ``(port, address)`` is posted at ``P(node)`` through the
+        match-maker, making it locatable immediately.
+        """
+        if not self._network.node_is_up(node):
+            raise NodeDownError(node)
+        service = self._directory.get_or_create(port, handler)
+        server = ServerProcess(node, port, handler or service.handler, name=name)
+        service.attach(server)
+        self._servers[server.pid] = server
+        registration = self._matchmaker.register_server(
+            node, port, server_id=server.name
+        )
+        self._registrations[server.pid] = registration
+        return server
+
+    def create_client(self, node: Hashable, name: str = "") -> ClientProcess:
+        """Start a client process at ``node``."""
+        if not self._network.node_is_up(node):
+            raise NodeDownError(node)
+        client = ClientProcess(node, name=name)
+        self._clients[client.pid] = client
+        return client
+
+    def retire_server(self, server: ServerProcess) -> None:
+        """Stop a server and withdraw its postings."""
+        registration = self._registrations.pop(server.pid, None)
+        if registration is not None and self._network.node_is_up(server.node):
+            self._matchmaker.deregister_server(registration)
+        server.kill()
+
+    def migrate_server(self, server: ServerProcess, new_node: Hashable) -> None:
+        """Move a server process to another node and re-advertise it.
+
+        Old postings are withdrawn when reachable; in any case the fresh
+        posting carries a newer timestamp, so rendezvous nodes prefer it.
+        """
+        server.require_alive()
+        if not self._network.node_is_up(new_node):
+            raise NodeDownError(new_node)
+        registration = self._registrations.get(server.pid)
+        if registration is not None and self._network.node_is_up(server.node):
+            self._matchmaker.deregister_server(registration)
+        server._move_to(new_node)
+        self._registrations[server.pid] = self._matchmaker.register_server(
+            new_node, server.port, server_id=server.name
+        )
+        self._stats.migrations += 1
+
+    def crash_node(self, node: Hashable) -> None:
+        """Crash a node: the node's cache is lost and resident processes
+        die."""
+        self._network.crash_node(node)
+        for server in self._servers.values():
+            if server.node == node and server.alive:
+                server.kill()
+                self._registrations.pop(server.pid, None)
+        for client in self._clients.values():
+            if client.node == node and client.alive:
+                client.kill()
+
+    # -- the request path -----------------------------------------------------------
+
+    def _accepting_server_at(
+        self, node: Hashable, port: Port
+    ) -> Optional[ServerProcess]:
+        for server in self._servers.values():
+            if server.node == node and server.port == port and server.accepting:
+                return server
+        return None
+
+    def _locate(self, client: ClientProcess, port: Port) -> Optional[Address]:
+        self._stats.locates += 1
+        client.stats.locates += 1
+        result = self._matchmaker.locate(client.node, port)
+        if not result.found:
+            return None
+        return result.address  # type: ignore[return-value]
+
+    def request(
+        self, client: ClientProcess, port: Port, payload: object
+    ) -> RequestOutcome:
+        """Issue one request from ``client`` to the service at ``port``.
+
+        Returns a :class:`RequestOutcome`; ``ok`` is ``False`` when the
+        service could not be located or reached within the retry budget.
+        """
+        client.require_alive()
+        self._stats.requests += 1
+        client.stats.requests += 1
+
+        locates = 0
+        retries = 0
+        used_cache = False
+        address = client.cached_address(port)
+        if address is not None:
+            used_cache = True
+            client.stats.cache_hits += 1
+
+        for attempt in range(self._max_retries + 1):
+            if address is None:
+                located = self._locate(client, port)
+                locates += 1
+                if located is None:
+                    self._record_failure(client)
+                    return RequestOutcome(
+                        ok=False,
+                        locates=locates,
+                        retries=retries,
+                        used_cached_address=used_cache,
+                        error=f"no server found for {port}",
+                    )
+                address = located
+                client.remember_address(port, address)
+
+            target_node = address.node
+            server = (
+                self._accepting_server_at(target_node, port)
+                if self._network.node_is_up(target_node)
+                else None
+            )
+            if server is None:
+                # Stale address: the server migrated, died, or its host is
+                # down.  Forget it and locate again.
+                client.forget_address(port)
+                client.stats.stale_addresses += 1
+                self._stats.stale_addresses += 1
+                address = None
+                retries += 1
+                continue
+
+            try:
+                self._network.send_payload(client.node, target_node)
+                reply = server.handle(payload)
+                self._network.send_payload(target_node, client.node)
+            except (NoRouteError, NodeDownError) as exc:
+                client.forget_address(port)
+                address = None
+                retries += 1
+                if attempt == self._max_retries:
+                    self._record_failure(client)
+                    return RequestOutcome(
+                        ok=False,
+                        locates=locates,
+                        retries=retries,
+                        used_cached_address=used_cache,
+                        error=str(exc),
+                    )
+                continue
+
+            self._stats.successful_requests += 1
+            return RequestOutcome(
+                ok=True,
+                reply=reply,
+                server=server,
+                locates=locates,
+                retries=retries,
+                used_cached_address=used_cache,
+            )
+
+        self._record_failure(client)
+        return RequestOutcome(
+            ok=False,
+            locates=locates,
+            retries=retries,
+            used_cached_address=used_cache,
+            error=f"retry budget exhausted for {port}",
+        )
+
+    def request_or_raise(
+        self, client: ClientProcess, port: Port, payload: object
+    ) -> object:
+        """Like :meth:`request` but raise :class:`ServiceNotFoundError` /
+        :class:`ServiceError` on failure and return the reply directly."""
+        outcome = self.request(client, port, payload)
+        if outcome.ok:
+            return outcome.reply
+        if "no server found" in outcome.error:
+            raise ServiceNotFoundError(port)
+        raise ServiceError(outcome.error)
+
+    def _record_failure(self, client: ClientProcess) -> None:
+        client.stats.failures += 1

@@ -1,0 +1,85 @@
+"""A registry of strategy factories keyed by name.
+
+The comparison experiments ("E14": the paper's qualitative sweep across the
+range between centralized and distributed name servers) need to instantiate
+many strategies uniformly for a given topology/universe.  The registry maps a
+short name to a factory ``(topology_or_universe) -> strategy`` and records
+which kind of argument each factory expects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
+
+from ..core.exceptions import StrategyError
+from ..core.strategy import MatchMakingStrategy
+from ..topologies.base import Topology
+from .elementary import (
+    BroadcastStrategy,
+    CentralizedStrategy,
+    FullStrategy,
+    SweepStrategy,
+)
+from .hash_locate import HashLocateStrategy
+from .truly_distributed import CheckerboardStrategy
+
+
+class StrategyRegistry:
+    """Name -> factory registry for universe-based strategies."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[[Sequence[Hashable]], MatchMakingStrategy]] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[[Sequence[Hashable]], MatchMakingStrategy],
+        overwrite: bool = False,
+    ) -> None:
+        """Register a factory taking the node universe."""
+        if name in self._factories and not overwrite:
+            raise StrategyError(f"strategy {name!r} is already registered")
+        self._factories[name] = factory
+
+    def names(self) -> List[str]:
+        """All registered strategy names, sorted."""
+        return sorted(self._factories)
+
+    def create(self, name: str, universe: Sequence[Hashable]) -> MatchMakingStrategy:
+        """Instantiate the named strategy for ``universe``."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise StrategyError(
+                f"unknown strategy {name!r}; known: {', '.join(self.names())}"
+            ) from None
+        return factory(universe)
+
+    def create_all(
+        self, universe: Sequence[Hashable], only: Optional[Iterable[str]] = None
+    ) -> Dict[str, MatchMakingStrategy]:
+        """Instantiate every (or the selected) registered strategy."""
+        names = list(only) if only is not None else self.names()
+        return {name: self.create(name, universe) for name in names}
+
+
+def default_registry() -> StrategyRegistry:
+    """The registry of all universe-based strategies from the paper.
+
+    Topology-specific strategies (Manhattan, hypercube, CCC, projective
+    plane, gateways, tree paths, subgraph decomposition) need richer inputs
+    than a bare universe and are instantiated directly by the experiments.
+    """
+    registry = StrategyRegistry()
+    registry.register("broadcast", lambda universe: BroadcastStrategy(universe))
+    registry.register("sweep", lambda universe: SweepStrategy(universe))
+    registry.register(
+        "centralized",
+        lambda universe: CentralizedStrategy(universe, sorted(universe, key=repr)[0]),
+    )
+    registry.register("checkerboard", lambda universe: CheckerboardStrategy(universe))
+    registry.register("full", lambda universe: FullStrategy(universe))
+    registry.register(
+        "hash-locate", lambda universe: HashLocateStrategy(universe, replicas=1)
+    )
+    return registry

@@ -1,0 +1,170 @@
+"""Manhattan (grid), torus and d-dimensional mesh topologies.
+
+Section 3.1 of the paper: "The network is laid out as a p × q rectangular
+grid of nodes.  Post availability of a service along its row and request a
+service along the column the client is on."  Wrap-around versions give
+cylinders and tori ("the method used in the torus-shaped Stony Brook
+Microcomputer Network"); the obvious generalization to d-dimensional meshes
+takes ``m(n) = 2 n^{(d-1)/d}`` message passes.
+
+Nodes are identified by coordinate tuples; the 2-D case uses ``(row, col)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.exceptions import TopologyError
+from ..network.graph import Graph
+from .base import Topology
+
+Coordinate = Tuple[int, ...]
+
+
+class ManhattanTopology(Topology):
+    """A ``rows × cols`` rectangular grid, optionally with wrap-around.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions (both ≥ 1, at least 2 nodes overall).
+    wrap:
+        When ``True`` the grid wraps around in both dimensions, producing the
+        torus used by the Stony Brook Microcomputer Network.
+    """
+
+    family = "manhattan"
+
+    def __init__(self, rows: int, cols: int, wrap: bool = False) -> None:
+        if rows < 1 or cols < 1 or rows * cols < 2:
+            raise TopologyError("grid must contain at least two nodes")
+        graph = Graph()
+        for r in range(rows):
+            for c in range(cols):
+                graph.add_node((r, c))
+        for r in range(rows):
+            for c in range(cols):
+                if c + 1 < cols:
+                    graph.add_edge((r, c), (r, c + 1))
+                elif wrap and cols > 2:
+                    graph.add_edge((r, c), (r, 0))
+                if r + 1 < rows:
+                    graph.add_edge((r, c), (r + 1, c))
+                elif wrap and rows > 2:
+                    graph.add_edge((r, c), (0, c))
+        shape = "torus" if wrap else "grid"
+        super().__init__(graph, name=f"manhattan-{shape}-{rows}x{cols}")
+        self._rows = rows
+        self._cols = cols
+        self._wrap = wrap
+
+    @property
+    def rows(self) -> int:
+        """Number of grid rows ``p``."""
+        return self._rows
+
+    @property
+    def cols(self) -> int:
+        """Number of grid columns ``q``."""
+        return self._cols
+
+    @property
+    def wrap(self) -> bool:
+        """Whether the grid wraps around (torus)."""
+        return self._wrap
+
+    def row_of(self, node: Coordinate) -> List[Coordinate]:
+        """All nodes sharing the row of ``node`` (including itself)."""
+        r, _ = node
+        return [(r, c) for c in range(self._cols)]
+
+    def column_of(self, node: Coordinate) -> List[Coordinate]:
+        """All nodes sharing the column of ``node`` (including itself)."""
+        _, c = node
+        return [(r, c) for r in range(self._rows)]
+
+    @classmethod
+    def square(cls, side: int, wrap: bool = False) -> "ManhattanTopology":
+        """A ``side × side`` grid — the ``p = q`` case with
+        ``m(n) = 2·sqrt(n)``."""
+        return cls(side, side, wrap=wrap)
+
+
+class MeshTopology(Topology):
+    """A d-dimensional mesh with the given side lengths, optionally
+    wrapping.
+
+    Node identifiers are d-tuples of coordinates.  The 2-dimensional case
+    coincides with :class:`ManhattanTopology`; higher dimensions realise the
+    paper's "obvious generalization to d-dimensional meshes".
+    """
+
+    family = "mesh"
+
+    def __init__(self, sides: Sequence[int], wrap: bool = False) -> None:
+        sides = tuple(int(s) for s in sides)
+        if not sides or any(s < 1 for s in sides):
+            raise TopologyError("every mesh dimension must be at least 1")
+        total = 1
+        for s in sides:
+            total *= s
+        if total < 2:
+            raise TopologyError("mesh must contain at least two nodes")
+        graph = Graph()
+        for coord in itertools.product(*(range(s) for s in sides)):
+            graph.add_node(coord)
+        for coord in itertools.product(*(range(s) for s in sides)):
+            for axis, side in enumerate(sides):
+                if coord[axis] + 1 < side:
+                    neighbour = list(coord)
+                    neighbour[axis] += 1
+                    graph.add_edge(coord, tuple(neighbour))
+                elif wrap and side > 2:
+                    neighbour = list(coord)
+                    neighbour[axis] = 0
+                    graph.add_edge(coord, tuple(neighbour))
+        shape = "torus" if wrap else "mesh"
+        name = f"{shape}-" + "x".join(str(s) for s in sides)
+        super().__init__(graph, name=name)
+        self._sides = sides
+        self._wrap = wrap
+
+    @property
+    def sides(self) -> Tuple[int, ...]:
+        """Side length of every dimension."""
+        return self._sides
+
+    @property
+    def dimensions(self) -> int:
+        """Number of dimensions ``d``."""
+        return len(self._sides)
+
+    @property
+    def wrap(self) -> bool:
+        """Whether the mesh wraps around."""
+        return self._wrap
+
+    def slice_through(
+        self, node: Coordinate, free_axes: Sequence[int]
+    ) -> List[Coordinate]:
+        """All nodes matching ``node`` on every axis not in ``free_axes``.
+
+        This is the d-dimensional generalisation of "the row of a node": the
+        nodes reachable by varying only the ``free_axes`` coordinates.
+        """
+        free = set(free_axes)
+        if any(axis < 0 or axis >= self.dimensions for axis in free):
+            raise ValueError(f"axis out of range for {self.dimensions}-d mesh")
+        ranges = [
+            range(self._sides[axis]) if axis in free else (node[axis],)
+            for axis in range(self.dimensions)
+        ]
+        return [tuple(c) for c in itertools.product(*ranges)]
+
+    @classmethod
+    def hypercubic(cls, side: int, dimensions: int, wrap: bool = False) -> "MeshTopology":
+        """A mesh with ``dimensions`` equal sides (``n = side ** dimensions``)."""
+        if dimensions < 1:
+            raise TopologyError("dimensions must be at least 1")
+        return cls([side] * dimensions, wrap=wrap)

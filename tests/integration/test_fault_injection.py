@@ -1,0 +1,179 @@
+"""Integration tests of fault-tolerance behaviour (section 2.4) through the
+full simulator stack."""
+
+import random
+
+import pytest
+
+from repro.core.matchmaker import MatchMaker
+from repro.core.rendezvous import RendezvousMatrix
+from repro.core.strategy import FunctionalStrategy
+from repro.core.types import Port
+from repro.network.simulator import Network
+from repro.processes import DistributedSystem
+from repro.strategies import (
+    CentralizedStrategy,
+    CheckerboardStrategy,
+    HashLocateStrategy,
+    ManhattanStrategy,
+)
+from repro.topologies import CompleteTopology, ManhattanTopology, RingTopology
+
+PORT = Port("resilient-service")
+
+
+class TestCentralizedSinglePointOfFailure:
+    def test_centre_crash_breaks_every_locate(self):
+        topo = CompleteTopology(12)
+        network = Network(topo.graph, delivery_mode="ideal")
+        matchmaker = MatchMaker(network, CentralizedStrategy(topo.nodes(), centre=0))
+        matchmaker.register_server(5, PORT)
+        network.crash_node(0)
+        for client in (1, 4, 9):
+            assert not matchmaker.locate(client, PORT).found
+
+    def test_any_other_crash_is_harmless(self):
+        topo = CompleteTopology(12)
+        network = Network(topo.graph, delivery_mode="ideal")
+        matchmaker = MatchMaker(network, CentralizedStrategy(topo.nodes(), centre=0))
+        matchmaker.register_server(5, PORT)
+        for node in (1, 2, 3, 4):
+            network.crash_node(node)
+        assert matchmaker.locate(9, PORT).found
+
+
+class TestCheckerboardUnderCrashes:
+    def test_reposting_after_rendezvous_crash_restores_service(self):
+        topo = CompleteTopology(16)
+        strategy = CheckerboardStrategy(topo.nodes())
+        network = Network(topo.graph, delivery_mode="ideal")
+        matchmaker = MatchMaker(network, strategy)
+        matchmaker.register_server(3, PORT)
+        victim = next(iter(strategy.rendezvous_set(3, 13)))
+        network.crash_node(victim)
+        assert not matchmaker.locate(13, PORT).found
+        # The paper's "distributed" criterion: the server can escape the
+        # outage "by first moving to another address" — pick a new host whose
+        # rendezvous with the client avoids the crashed node.
+        new_host = next(
+            node
+            for node in topo.nodes()
+            if node != victim and victim not in strategy.rendezvous_set(node, 13)
+        )
+        matchmaker.register_server(new_host, PORT)
+        assert matchmaker.locate(13, PORT).found
+
+    def test_most_pairs_unaffected_by_single_crash(self):
+        topo = CompleteTopology(25)
+        strategy = CheckerboardStrategy(topo.nodes())
+        network = Network(topo.graph, delivery_mode="ideal")
+        matchmaker = MatchMaker(network, strategy)
+        rng = random.Random(3)
+        network.crash_node(7)
+        successes = 0
+        trials = 40
+        for _ in range(trials):
+            server = rng.choice([n for n in topo.nodes() if n != 7])
+            client = rng.choice([n for n in topo.nodes() if n != 7])
+            result = matchmaker.match_instance(server, client, PORT)
+            successes += result.found
+        assert successes >= trials * 0.8
+
+
+class TestRedundantRendezvous:
+    def test_f_plus_one_redundancy_survives_f_crashes(self):
+        # Section 2.4: #(P ∩ Q) >= f+1 tolerates f rendezvous-node crashes.
+        universe = list(range(20))
+        f = 2
+        redundant = FunctionalStrategy(
+            post=lambda i: {0, 1, 2, i},
+            query=lambda j: {0, 1, 2, j},
+            name="triple-redundant",
+        )
+        topo = CompleteTopology(20)
+        network = Network(topo.graph, delivery_mode="ideal")
+        matchmaker = MatchMaker(network, redundant)
+        matchmaker.register_server(10, PORT)
+        for victim in range(f):
+            network.crash_node(victim)
+        assert matchmaker.locate(15, PORT).found
+
+    def test_f_plus_one_crashes_can_break_it(self):
+        redundant = FunctionalStrategy(
+            post=lambda i: {0, 1, 2},
+            query=lambda j: {0, 1, 2},
+            name="triple",
+        )
+        topo = CompleteTopology(10)
+        network = Network(topo.graph, delivery_mode="ideal")
+        matchmaker = MatchMaker(network, redundant)
+        matchmaker.register_server(5, PORT)
+        for victim in (0, 1, 2):
+            network.crash_node(victim)
+        assert not matchmaker.locate(8, PORT).found
+
+
+class TestHashLocateFragility:
+    def test_single_rendezvous_crash_kills_the_service_globally(self):
+        topo = CompleteTopology(30)
+        strategy = HashLocateStrategy(topo.nodes(), replicas=1)
+        network = Network(topo.graph, delivery_mode="ideal")
+        matchmaker = MatchMaker(network, strategy)
+        matchmaker.register_server(4, PORT)
+        victim = next(iter(strategy.rendezvous_nodes(PORT)))
+        network.crash_node(victim)
+        # Every client everywhere now fails — even re-registering the server
+        # elsewhere does not help, because the hash still points at the
+        # crashed node.  This is the paper's Hash Locate fragility argument.
+        matchmaker.register_server(9, PORT)
+        misses = sum(
+            0 if matchmaker.locate(client, PORT).found else 1
+            for client in (1, 2, 3, 7, 20)
+        )
+        assert misses == 5
+
+    def test_replicated_hash_survives(self):
+        topo = CompleteTopology(30)
+        strategy = HashLocateStrategy(topo.nodes(), replicas=3)
+        network = Network(topo.graph, delivery_mode="ideal")
+        matchmaker = MatchMaker(network, strategy)
+        matchmaker.register_server(4, PORT)
+        victims = list(strategy.rendezvous_nodes(PORT))[:2]
+        for victim in victims:
+            network.crash_node(victim)
+        assert matchmaker.locate(17, PORT).found
+
+
+class TestPartitionsAndLinks:
+    def test_link_failures_reroute_on_grid(self):
+        topo = ManhattanTopology.square(5)
+        system = DistributedSystem(
+            topo.build_network(), ManhattanStrategy(topo), max_retries=2
+        )
+        system.create_server((0, 0), PORT, handler=lambda x: "ok")
+        client = system.create_client((4, 4))
+        # Sever a few links; the grid remains connected, requests still work.
+        system.network.fail_link((0, 0), (0, 1))
+        system.network.fail_link((2, 2), (2, 3))
+        assert system.request(client, PORT, "x").ok
+
+    def test_partitioned_client_cannot_reach_service(self):
+        ring = RingTopology(8)
+        network = Network(ring.graph, delivery_mode="unicast")
+        strategy = CheckerboardStrategy(ring.nodes())
+        matchmaker = MatchMaker(network, strategy)
+        matchmaker.register_server(0, PORT)
+        # Crash the two neighbours of node 4: it is now isolated.
+        network.crash_node(3)
+        network.crash_node(5)
+        assert not matchmaker.locate(4, PORT).found
+
+    def test_service_system_reports_failure_not_crash(self):
+        topo = ManhattanTopology.square(4)
+        system = DistributedSystem(topo.build_network(), ManhattanStrategy(topo))
+        server = system.create_server((0, 0), PORT)
+        client = system.create_client((3, 3))
+        system.crash_node((0, 0))
+        outcome = system.request(client, PORT, "x")
+        assert not outcome.ok
+        assert outcome.error

@@ -1,0 +1,157 @@
+"""Integration tests reproducing the worked examples printed in the paper.
+
+Each test builds the exact matrix of one of the paper's Examples 1-6 (section
+2.3.1), the 9-node Manhattan matrix of section 3.1, or the Example 6 / 3-cube
+matrix, and checks it cell by cell against the printed figures.
+"""
+
+import pytest
+
+from repro.core.rendezvous import RendezvousMatrix
+from repro.strategies import (
+    BroadcastStrategy,
+    CentralizedStrategy,
+    CheckerboardStrategy,
+    HypercubeStrategy,
+    ManhattanStrategy,
+    SupervisorHierarchyStrategy,
+    SweepStrategy,
+)
+from repro.topologies import HypercubeTopology, ManhattanTopology
+
+NODES = list(range(1, 10))
+
+
+def grid_of(strategy, nodes=NODES):
+    return RendezvousMatrix.from_strategy(strategy, nodes).singleton_grid()
+
+
+class TestExample1Broadcasting:
+    def test_full_grid(self):
+        grid = grid_of(BroadcastStrategy(NODES))
+        assert grid == [[i] * 9 for i in NODES]
+
+
+class TestExample2Sweeping:
+    def test_full_grid(self):
+        grid = grid_of(SweepStrategy(NODES))
+        assert grid == [list(NODES) for _ in NODES]
+
+
+class TestExample3Centralized:
+    def test_full_grid(self):
+        grid = grid_of(CentralizedStrategy(NODES, centre=3))
+        assert grid == [[3] * 9 for _ in NODES]
+
+
+class TestExample4TrulyDistributed:
+    def test_full_grid(self):
+        grid = grid_of(CheckerboardStrategy(NODES, order=NODES))
+        expected = [
+            [1, 1, 1, 2, 2, 2, 3, 3, 3],
+            [1, 1, 1, 2, 2, 2, 3, 3, 3],
+            [1, 1, 1, 2, 2, 2, 3, 3, 3],
+            [4, 4, 4, 5, 5, 5, 6, 6, 6],
+            [4, 4, 4, 5, 5, 5, 6, 6, 6],
+            [4, 4, 4, 5, 5, 5, 6, 6, 6],
+            [7, 7, 7, 8, 8, 8, 9, 9, 9],
+            [7, 7, 7, 8, 8, 8, 9, 9, 9],
+            [7, 7, 7, 8, 8, 8, 9, 9, 9],
+        ]
+        assert grid == expected
+
+
+class TestExample5Hierarchical:
+    def test_designated_rendezvous_grid(self):
+        # The paper prints the designated (lowest common supervisor) node.
+        strategy = SupervisorHierarchyStrategy.example5()
+        expected = [
+            [7, 7, 7, 9, 9, 9, 9, 9, 9],
+            [7, 7, 7, 9, 9, 9, 9, 9, 9],
+            [7, 7, 7, 9, 9, 9, 9, 9, 9],
+            [9, 9, 9, 8, 8, 8, 9, 9, 9],
+            [9, 9, 9, 8, 8, 8, 9, 9, 9],
+            [9, 9, 9, 8, 8, 8, 9, 9, 9],
+            [9, 9, 9, 9, 9, 9, 9, 9, 9],
+            [9, 9, 9, 9, 9, 9, 9, 9, 9],
+            [9, 9, 9, 9, 9, 9, 9, 9, 9],
+        ]
+        grid = [
+            [strategy.lowest_common_supervisor(server, client) for client in NODES]
+            for server in NODES
+        ]
+        assert grid == expected
+
+    def test_designated_node_is_a_rendezvous_node(self):
+        strategy = SupervisorHierarchyStrategy.example5()
+        for server in NODES:
+            for client in NODES:
+                designated = strategy.lowest_common_supervisor(server, client)
+                assert designated in strategy.rendezvous_set(server, client)
+
+
+class TestExample6BinaryCube:
+    def test_full_grid_matches_paper(self):
+        # P(abc) = {axy}, Q(abc) = {xbc}: entry(server, client) =
+        # server[0] + client[1:].
+        cube = HypercubeTopology(3)
+        strategy = HypercubeStrategy(cube, server_prefix_bits=1)
+        nodes = [format(i, "03b") for i in range(8)]
+        matrix = RendezvousMatrix.from_strategy(strategy, nodes)
+        paper_grid = [
+            [server[0] + client[1:] for client in nodes] for server in nodes
+        ]
+        assert [
+            [next(iter(matrix.entry(s, c))) for c in nodes] for s in nodes
+        ] == paper_grid
+
+    def test_post_rows_match_paper_listing(self):
+        # Row of server 000 in the paper: 000 001 010 011 (twice).
+        cube = HypercubeTopology(3)
+        strategy = HypercubeStrategy(cube, server_prefix_bits=1)
+        assert strategy.post_set("000") == frozenset({"000", "001", "010", "011"})
+        assert strategy.query_set("101") == frozenset({"001", "101"})
+
+
+class TestManhattan9NodeMatrix:
+    def test_full_grid_matches_paper(self):
+        grid_topology = ManhattanTopology(3, 3)
+        strategy = ManhattanStrategy(grid_topology)
+        number = {(r, c): 3 * r + c + 1 for r in range(3) for c in range(3)}
+        ordered = sorted(grid_topology.nodes(), key=lambda n: number[n])
+        matrix = RendezvousMatrix.from_strategy(strategy, ordered)
+        expected = [
+            [1, 2, 3, 1, 2, 3, 1, 2, 3],
+            [1, 2, 3, 1, 2, 3, 1, 2, 3],
+            [1, 2, 3, 1, 2, 3, 1, 2, 3],
+            [4, 5, 6, 4, 5, 6, 4, 5, 6],
+            [4, 5, 6, 4, 5, 6, 4, 5, 6],
+            [4, 5, 6, 4, 5, 6, 4, 5, 6],
+            [7, 8, 9, 7, 8, 9, 7, 8, 9],
+            [7, 8, 9, 7, 8, 9, 7, 8, 9],
+            [7, 8, 9, 7, 8, 9, 7, 8, 9],
+        ]
+        produced = [
+            [number[next(iter(matrix.entry(s, c)))] for c in ordered] for s in ordered
+        ]
+        assert produced == expected
+
+
+class TestAllExamplesSatisfyTheLowerBound:
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            BroadcastStrategy(NODES),
+            SweepStrategy(NODES),
+            CentralizedStrategy(NODES, centre=3),
+            CheckerboardStrategy(NODES, order=NODES),
+            SupervisorHierarchyStrategy.example5(),
+        ],
+        ids=["broadcast", "sweep", "centralized", "checkerboard", "hierarchical"],
+    )
+    def test_proposition_2(self, strategy):
+        from repro.core.bounds import verify_proposition2
+
+        matrix = RendezvousMatrix.from_strategy(strategy, NODES)
+        measured, bound = verify_proposition2(matrix)
+        assert measured >= bound - 1e-9

@@ -1,0 +1,174 @@
+"""Unit tests for repro.network.cache."""
+
+import pytest
+
+from repro.core.exceptions import CacheOverflowError
+from repro.core.types import Address, Port, PostRecord
+from repro.network.cache import BoundedCache, ExpiringCache, NodeCache
+
+
+def record(port="p", node=1, ts=1, server="s1"):
+    return PostRecord(Port(port), Address(node), timestamp=ts, server_id=server)
+
+
+class TestNodeCache:
+    def test_post_then_lookup(self):
+        cache = NodeCache()
+        cache.post(record())
+        found = cache.lookup(Port("p"))
+        assert found is not None
+        assert found.address == Address(1)
+
+    def test_lookup_missing_returns_none(self):
+        assert NodeCache().lookup(Port("nothing")) is None
+
+    def test_newer_posting_wins(self):
+        cache = NodeCache()
+        cache.post(record(node=1, ts=1))
+        cache.post(record(node=2, ts=5))
+        assert cache.lookup(Port("p")).address == Address(2)
+
+    def test_older_posting_does_not_overwrite(self):
+        cache = NodeCache()
+        cache.post(record(node=2, ts=5))
+        cache.post(record(node=1, ts=1))
+        assert cache.lookup(Port("p")).address == Address(2)
+
+    def test_multiple_servers_same_port(self):
+        cache = NodeCache()
+        cache.post(record(node=1, server="a", ts=1))
+        cache.post(record(node=2, server="b", ts=2))
+        assert len(cache.lookup_all(Port("p"))) == 2
+        assert cache.lookup(Port("p")).address == Address(2)
+
+    def test_len_counts_records(self):
+        cache = NodeCache()
+        cache.post(record(port="p", server="a"))
+        cache.post(record(port="q", server="a"))
+        cache.post(record(port="p", server="b"))
+        assert len(cache) == 3
+
+    def test_remove_port(self):
+        cache = NodeCache()
+        cache.post(record(port="p"))
+        cache.post(record(port="q"))
+        cache.remove_port(Port("p"))
+        assert Port("p") not in cache
+        assert Port("q") in cache
+
+    def test_remove_server(self):
+        cache = NodeCache()
+        cache.post(record(server="a"))
+        cache.post(record(server="b", node=2))
+        cache.remove_server(Port("p"), "a")
+        remaining = cache.lookup_all(Port("p"))
+        assert [r.server_id for r in remaining] == ["b"]
+
+    def test_remove_address(self):
+        cache = NodeCache()
+        cache.post(record(port="p", node=1, server="a"))
+        cache.post(record(port="q", node=1, server="b"))
+        cache.post(record(port="r", node=2, server="c"))
+        cache.remove_address(Address(1))
+        assert Port("p") not in cache
+        assert Port("q") not in cache
+        assert Port("r") in cache
+
+    def test_clear(self):
+        cache = NodeCache()
+        cache.post(record())
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_ports_listing(self):
+        cache = NodeCache()
+        cache.post(record(port="a"))
+        cache.post(record(port="b"))
+        assert sorted(p.name for p in cache.ports()) == ["a", "b"]
+
+    def test_write_count(self):
+        cache = NodeCache()
+        cache.post(record(ts=1))
+        cache.post(record(ts=2))
+        assert cache.write_count == 2
+
+
+class TestBoundedCache:
+    def test_strict_overflow_raises(self):
+        cache = BoundedCache(capacity=2, strict=True)
+        cache.post(record(port="a"))
+        cache.post(record(port="b"))
+        with pytest.raises(CacheOverflowError):
+            cache.post(record(port="c"))
+
+    def test_refresh_does_not_overflow(self):
+        cache = BoundedCache(capacity=1, strict=True)
+        cache.post(record(port="a", ts=1))
+        cache.post(record(port="a", ts=2))  # same key: a refresh, not growth
+        assert cache.lookup(Port("a")).timestamp == 2
+
+    def test_non_strict_evicts_oldest(self):
+        cache = BoundedCache(capacity=2, strict=False)
+        cache.post(record(port="a"))
+        cache.post(record(port="b"))
+        cache.post(record(port="c"))
+        assert Port("a") not in cache
+        assert Port("b") in cache and Port("c") in cache
+        assert len(cache) == 2
+
+    def test_capacity_property(self):
+        assert BoundedCache(capacity=7).capacity == 7
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedCache(capacity=-1)
+
+    def test_remove_frees_capacity(self):
+        cache = BoundedCache(capacity=1, strict=True)
+        cache.post(record(port="a"))
+        cache.remove_port(Port("a"))
+        cache.post(record(port="b"))
+        assert Port("b") in cache
+
+    def test_clear_frees_capacity(self):
+        cache = BoundedCache(capacity=1, strict=True)
+        cache.post(record(port="a"))
+        cache.clear()
+        cache.post(record(port="b"))
+        assert Port("b") in cache
+
+    def test_remove_address_frees_capacity(self):
+        cache = BoundedCache(capacity=1, strict=True)
+        cache.post(record(port="a", node=9))
+        cache.remove_address(Address(9))
+        cache.post(record(port="b"))
+        assert Port("b") in cache
+
+
+class TestExpiringCache:
+    def test_entry_visible_before_ttl(self):
+        cache = ExpiringCache(ttl=5)
+        cache.post(record(ts=10))
+        assert cache.lookup_at(Port("p"), now=14) is not None
+
+    def test_entry_expires_after_ttl(self):
+        cache = ExpiringCache(ttl=5)
+        cache.post(record(ts=10))
+        assert cache.lookup_at(Port("p"), now=15) is None
+
+    def test_expire_returns_dropped_count(self):
+        cache = ExpiringCache(ttl=3)
+        cache.post(record(port="a", ts=0, server="x"))
+        cache.post(record(port="b", ts=10, server="y"))
+        assert cache.expire(now=5) == 1
+        assert Port("b") in cache
+
+    def test_fresh_repost_extends_lifetime(self):
+        cache = ExpiringCache(ttl=5)
+        cache.post(record(ts=0))
+        cache.post(record(ts=8))
+        assert cache.lookup_at(Port("p"), now=12) is not None
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ExpiringCache(ttl=0)

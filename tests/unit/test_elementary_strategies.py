@@ -1,0 +1,154 @@
+"""Unit tests for Examples 1-4: broadcast, sweep, centralized, checkerboard."""
+
+import math
+
+import pytest
+
+from repro.core.exceptions import StrategyError
+from repro.core.rendezvous import RendezvousMatrix
+from repro.strategies import (
+    BroadcastStrategy,
+    CentralizedStrategy,
+    CheckerboardStrategy,
+    FullStrategy,
+    SweepStrategy,
+)
+
+UNIVERSE = list(range(1, 10))
+
+
+class TestBroadcast:
+    def test_sets(self):
+        strategy = BroadcastStrategy(UNIVERSE)
+        assert strategy.post_set(4) == frozenset({4})
+        assert strategy.query_set(4) == frozenset(UNIVERSE)
+
+    def test_rendezvous_at_server(self):
+        strategy = BroadcastStrategy(UNIVERSE)
+        assert strategy.rendezvous_set(3, 8) == frozenset({3})
+
+    def test_matrix_matches_paper_example1(self):
+        # Example 1: row i is constant i.
+        matrix = RendezvousMatrix.from_strategy(BroadcastStrategy(UNIVERSE), UNIVERSE)
+        grid = matrix.singleton_grid()
+        for i, row in enumerate(grid, start=1):
+            assert row == [i] * 9
+
+    def test_total_and_validates(self):
+        strategy = BroadcastStrategy(UNIVERSE)
+        strategy.validate(UNIVERSE)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(StrategyError):
+            BroadcastStrategy(UNIVERSE).post_set(99)
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(StrategyError):
+            BroadcastStrategy([])
+
+
+class TestSweep:
+    def test_sets(self):
+        strategy = SweepStrategy(UNIVERSE)
+        assert strategy.post_set(4) == frozenset(UNIVERSE)
+        assert strategy.query_set(4) == frozenset({4})
+
+    def test_matrix_matches_paper_example2(self):
+        # Example 2: column j is constant j.
+        matrix = RendezvousMatrix.from_strategy(SweepStrategy(UNIVERSE), UNIVERSE)
+        grid = matrix.singleton_grid()
+        for row in grid:
+            assert row == list(range(1, 10))
+
+    def test_rendezvous_at_client(self):
+        assert SweepStrategy(UNIVERSE).rendezvous_set(3, 8) == frozenset({8})
+
+    def test_mirror_of_broadcast_cost(self):
+        sweep = RendezvousMatrix.from_strategy(SweepStrategy(UNIVERSE), UNIVERSE)
+        broadcast = RendezvousMatrix.from_strategy(BroadcastStrategy(UNIVERSE), UNIVERSE)
+        assert sweep.average_cost() == broadcast.average_cost()
+
+
+class TestCentralized:
+    def test_sets(self):
+        strategy = CentralizedStrategy(UNIVERSE, centre=3)
+        assert strategy.post_set(7) == frozenset({3})
+        assert strategy.query_set(1) == frozenset({3})
+        assert strategy.centre == 3
+
+    def test_matrix_matches_paper_example3(self):
+        matrix = RendezvousMatrix.from_strategy(
+            CentralizedStrategy(UNIVERSE, centre=3), UNIVERSE
+        )
+        grid = matrix.singleton_grid()
+        assert all(cell == 3 for row in grid for cell in row)
+
+    def test_cost_is_two(self):
+        matrix = RendezvousMatrix.from_strategy(
+            CentralizedStrategy(UNIVERSE, centre=3), UNIVERSE
+        )
+        assert matrix.average_cost() == 2.0
+
+    def test_centre_must_be_member(self):
+        with pytest.raises(StrategyError):
+            CentralizedStrategy(UNIVERSE, centre=42)
+
+
+class TestFull:
+    def test_cost_is_2n(self):
+        matrix = RendezvousMatrix.from_strategy(FullStrategy(UNIVERSE), UNIVERSE)
+        assert matrix.average_cost() == 18.0
+
+    def test_maximal_redundancy(self):
+        matrix = RendezvousMatrix.from_strategy(FullStrategy(UNIVERSE), UNIVERSE)
+        assert matrix.min_redundancy() == 9
+
+
+class TestCheckerboard:
+    def test_matrix_matches_paper_example4(self):
+        # Example 4: 3x3 blocks numbered 1..9 left-to-right, top-to-bottom.
+        matrix = RendezvousMatrix.from_strategy(
+            CheckerboardStrategy(UNIVERSE, order=UNIVERSE), UNIVERSE
+        )
+        grid = matrix.singleton_grid()
+        expected_first_row = [1, 1, 1, 2, 2, 2, 3, 3, 3]
+        expected_last_row = [7, 7, 7, 8, 8, 8, 9, 9, 9]
+        assert grid[0] == expected_first_row
+        assert grid[8] == expected_last_row
+        assert grid[4] == [4, 4, 4, 5, 5, 5, 6, 6, 6]
+
+    def test_cost_is_2_sqrt_n(self):
+        matrix = RendezvousMatrix.from_strategy(
+            CheckerboardStrategy(UNIVERSE), UNIVERSE
+        )
+        assert matrix.average_cost() == pytest.approx(2 * math.sqrt(9))
+
+    def test_rendezvous_node_helper(self):
+        strategy = CheckerboardStrategy(UNIVERSE, order=UNIVERSE)
+        assert strategy.rendezvous_node(1, 1) == 1
+        assert strategy.rendezvous_node(9, 1) == 7
+        assert strategy.rendezvous_node(1, 9) == 3
+
+    def test_block_side(self):
+        assert CheckerboardStrategy(UNIVERSE).block_side == 3
+        assert CheckerboardStrategy(list(range(100))).block_side == 10
+
+    def test_non_square_universe_still_total(self):
+        for n in (5, 11, 14, 27):
+            universe = list(range(n))
+            strategy = CheckerboardStrategy(universe)
+            strategy.validate(universe)
+
+    def test_arbitrary_hashable_nodes(self):
+        universe = [f"host-{i}" for i in range(12)]
+        strategy = CheckerboardStrategy(universe)
+        strategy.validate(universe)
+
+    def test_order_must_be_permutation(self):
+        with pytest.raises(StrategyError):
+            CheckerboardStrategy(UNIVERSE, order=[1, 2, 3])
+
+    def test_works_with_tuple_nodes(self):
+        universe = [(r, c) for r in range(3) for c in range(3)]
+        strategy = CheckerboardStrategy(universe)
+        strategy.validate(universe)

@@ -1,0 +1,47 @@
+"""Unit tests for the experiment report generator."""
+
+import pytest
+
+from repro.analysis import report
+
+
+class TestReportSections:
+    def test_lower_bound_section_sorted_and_bounded(self):
+        rows = report.lower_bound_section(n=25)
+        costs = [row["m(n)"] for row in rows]
+        assert costs == sorted(costs)
+        for row in rows:
+            assert row["m(n)"] >= row["bound"] - 1e-9
+
+    def test_topology_section_all_total(self):
+        rows = report.topology_section()
+        assert len(rows) == 6
+        assert all(row["total"] for row in rows)
+        # Every topology-aware strategy stays within a small factor of the
+        # 2*sqrt(n) reference (trees and hierarchies are below it).
+        for row in rows:
+            assert row["m(n)"] <= 2.5 * row["2*sqrt(n)"]
+
+    def test_probabilistic_section_threshold(self):
+        rows = report.probabilistic_section(n=100)
+        by_pair = {(row["p"], row["q"]): row for row in rows}
+        assert by_pair[(5, 5)]["E|P∩Q|"] < 1.0
+        assert by_pair[(10, 10)]["E|P∩Q|"] == 1.0
+        assert by_pair[(10, 20)]["E|P∩Q|"] > 1.0
+
+    def test_uucp_section_headline_numbers(self):
+        rows = {row["metric"]: row["value"] for row in report.uucp_section()}
+        assert rows["max degree (ihnp4)"] == 641
+        assert rows["legible sites"] > 1800
+
+
+class TestFullReport:
+    def test_generate_report_contains_all_sections(self):
+        text = report.generate_report()
+        for marker in ("E2 —", "E3 —", "E5–E9 —", "E10 —", "E4 —"):
+            assert marker in text
+        # The checkerboard headline number for n = 64.
+        assert "16.0" in text
+
+    def test_report_is_deterministic(self):
+        assert report.generate_report() == report.generate_report()

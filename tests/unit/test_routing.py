@@ -1,0 +1,166 @@
+"""Unit tests for repro.network.routing."""
+
+import random
+
+import pytest
+
+from repro.core.exceptions import NoRouteError, UnknownNodeError
+from repro.network.graph import Graph, complete_graph
+from repro.network.routing import (
+    RoutingTable,
+    multicast_tree_cost,
+    path_cost,
+    route_cost,
+)
+
+
+@pytest.fixture
+def path_table(path_graph):
+    return RoutingTable(path_graph)
+
+
+class TestDistances:
+    def test_distance_on_path(self, path_table):
+        assert path_table.distance(0, 5) == 5
+        assert path_table.distance(2, 2) == 0
+
+    def test_distance_symmetric(self, path_table):
+        assert path_table.distance(1, 4) == path_table.distance(4, 1)
+
+    def test_complete_graph_all_one(self):
+        table = RoutingTable(complete_graph(8))
+        for u in range(8):
+            for v in range(8):
+                if u != v:
+                    assert table.distance(u, v) == 1
+
+    def test_unknown_destination_raises(self, path_table):
+        with pytest.raises(UnknownNodeError):
+            path_table.distance(0, 99)
+
+    def test_no_route_raises(self):
+        graph = Graph(nodes=[1, 2, 3], edges=[(1, 2)])
+        table = RoutingTable(graph)
+        with pytest.raises(NoRouteError):
+            table.distance(1, 3)
+
+    def test_has_route(self):
+        graph = Graph(nodes=[1, 2, 3], edges=[(1, 2)])
+        table = RoutingTable(graph)
+        assert table.has_route(1, 2)
+        assert not table.has_route(1, 3)
+
+    def test_eccentricity(self, path_table):
+        assert path_table.eccentricity(0) == 5
+        assert path_table.eccentricity(3) == 3
+
+
+class TestNextHopAndPaths:
+    def test_next_hop_moves_towards_destination(self, path_table):
+        assert path_table.next_hop(0, 5) == 1
+        assert path_table.next_hop(5, 0) == 4
+
+    def test_next_hop_to_self(self, path_table):
+        assert path_table.next_hop(2, 2) == 2
+
+    def test_shortest_path_endpoints_and_length(self, path_table):
+        path = path_table.shortest_path(1, 4)
+        assert path[0] == 1 and path[-1] == 4
+        assert len(path) - 1 == path_table.distance(1, 4)
+
+    def test_shortest_path_is_walk(self, path_graph, path_table):
+        path = path_table.shortest_path(0, 5)
+        for u, v in zip(path, path[1:]):
+            assert path_graph.has_edge(u, v)
+
+    def test_path_cost(self, path_table):
+        assert path_cost(path_table, [0, 1, 2]) == 2
+        assert path_cost(path_table, []) == 0
+
+    def test_invalidate_after_graph_change(self, path_graph):
+        table = RoutingTable(path_graph)
+        assert table.distance(0, 5) == 5
+        path_graph.add_edge(0, 5)
+        table.invalidate()
+        assert table.distance(0, 5) == 1
+
+
+class TestCostHelpers:
+    def test_route_cost_sums_distances(self, path_table):
+        assert route_cost(path_table, 0, [1, 2, 3]) == 1 + 2 + 3
+
+    def test_route_cost_skips_source(self, path_table):
+        assert route_cost(path_table, 0, [0]) == 0
+
+    def test_multicast_tree_cost_on_path(self, path_graph):
+        # Reaching nodes 1..5 from 0 along the path uses 5 edges.
+        assert multicast_tree_cost(path_graph, 0, [1, 2, 3, 4, 5]) == 5
+
+    def test_multicast_tree_cost_shares_edges(self):
+        # A star: reaching all 4 leaves costs 4 edges, not 4 separate paths.
+        star = Graph(edges=[(0, i) for i in range(1, 5)])
+        assert multicast_tree_cost(star, 0, [1, 2, 3, 4]) == 4
+
+    def test_multicast_tree_cost_equals_addressed_nodes_when_connected(self):
+        # Paper 2.3.5: if the addressed set induces a connected subgraph
+        # containing the source, spanning-tree broadcast costs exactly the
+        # number of addressed nodes (excluding the source).
+        graph = complete_graph(10)
+        targets = [1, 2, 3, 4]
+        assert multicast_tree_cost(graph, 0, targets) == len(targets)
+
+    def test_multicast_unreachable_raises(self):
+        graph = Graph(nodes=[0, 1, 2], edges=[(0, 1)])
+        with pytest.raises(NoRouteError):
+            multicast_tree_cost(graph, 0, [2])
+
+
+class TestReversePathBeam:
+    def test_beam_length_respected_on_grid(self):
+        from repro.topologies import ManhattanTopology
+
+        topo = ManhattanTopology.square(6)
+        table = RoutingTable(topo.graph)
+        rng = random.Random(1)
+        beam = table.reverse_path_beam((0, 0), 5, rng)
+        assert len(beam) == 5
+
+    def test_beam_moves_away_from_origin(self):
+        from repro.topologies import ManhattanTopology
+
+        topo = ManhattanTopology.square(8)
+        table = RoutingTable(topo.graph)
+        rng = random.Random(7)
+        beam = table.reverse_path_beam((0, 0), 6, rng)
+        distances = [table.distance((0, 0), node) for node in beam]
+        # Distances from the origin never decrease along the beam.
+        assert all(b >= a for a, b in zip(distances, distances[1:]))
+        assert distances[-1] == 6
+
+    def test_beam_stops_at_network_edge(self, path_graph):
+        table = RoutingTable(path_graph)
+        rng = random.Random(3)
+        beam = table.reverse_path_beam(0, 50, rng)
+        # The path has only 5 nodes beyond the origin; the beam cannot be
+        # longer than that while moving away (it may bounce at the end).
+        assert len(beam) <= 50
+        assert 5 in beam  # reached the far end
+
+    def test_negative_length_rejected(self, path_graph):
+        table = RoutingTable(path_graph)
+        with pytest.raises(ValueError):
+            table.reverse_path_beam(0, -1, random.Random(0))
+
+    def test_unknown_origin_rejected(self, path_graph):
+        table = RoutingTable(path_graph)
+        with pytest.raises(UnknownNodeError):
+            table.reverse_path_beam(99, 2, random.Random(0))
+
+    def test_beam_deterministic_for_same_seed(self):
+        from repro.topologies import ManhattanTopology
+
+        topo = ManhattanTopology.square(5)
+        table = RoutingTable(topo.graph)
+        beam_a = table.reverse_path_beam((2, 2), 4, random.Random(5))
+        beam_b = table.reverse_path_beam((2, 2), 4, random.Random(5))
+        assert beam_a == beam_b

@@ -1,0 +1,190 @@
+"""Unit tests for repro.network.simulator.Network."""
+
+import pytest
+
+from repro.core.exceptions import NodeDownError, UnknownNodeError
+from repro.core.types import Address, Port
+from repro.network.cache import BoundedCache
+from repro.network.simulator import Network
+from repro.network.stats import PAYLOAD, POST, QUERY, REPLY
+from repro.topologies import CompleteTopology, ManhattanTopology
+
+
+@pytest.fixture
+def complete_net(small_complete):
+    return Network(small_complete.graph, delivery_mode="ideal")
+
+
+@pytest.fixture
+def grid_net(grid5):
+    return Network(grid5.graph, delivery_mode="unicast")
+
+
+class TestConstruction:
+    def test_invalid_mode_rejected(self, small_complete):
+        with pytest.raises(ValueError):
+            Network(small_complete.graph, delivery_mode="teleport")
+
+    def test_graph_copied_defensively(self, small_complete):
+        graph = small_complete.graph.copy()
+        network = Network(graph)
+        graph.remove_node(0)
+        assert 0 in network.graph
+
+    def test_custom_cache_factory(self, small_complete):
+        network = Network(
+            small_complete.graph, cache_factory=lambda: BoundedCache(capacity=2)
+        )
+        assert isinstance(network.node(0).cache, BoundedCache)
+
+    def test_size_and_node_access(self, complete_net):
+        assert complete_net.size == 9
+        assert complete_net.node(3).node_id == 3
+        with pytest.raises(UnknownNodeError):
+            complete_net.node(42)
+
+    def test_timestamps_increase(self, complete_net):
+        assert complete_net.next_timestamp() < complete_net.next_timestamp()
+
+
+class TestDelivery:
+    def test_ideal_mode_one_hop_per_destination(self, complete_net):
+        outcome = complete_net.deliver(0, [1, 2, 3], POST, mode="ideal")
+        assert outcome.hops == 3
+        assert complete_net.stats.hops_for(POST) == 3
+
+    def test_unicast_mode_counts_routing(self, grid_net):
+        outcome = grid_net.deliver((0, 0), [(0, 4), (4, 0)], POST, mode="unicast")
+        assert outcome.hops == 8
+
+    def test_multicast_mode_shares_edges(self, grid5):
+        network = Network(grid5.graph, delivery_mode="multicast")
+        row = [(0, c) for c in range(5)]
+        outcome = network.deliver((0, 0), row, POST)
+        assert outcome.hops == 4  # the row is a path of 4 edges
+
+    def test_delivery_to_self_costs_nothing(self, complete_net):
+        outcome = complete_net.deliver(4, [4], QUERY)
+        assert outcome.hops == 0
+        assert outcome.reached == frozenset({4})
+
+    def test_delivery_from_down_node_raises(self, complete_net):
+        complete_net.crash_node(0)
+        with pytest.raises(NodeDownError):
+            complete_net.deliver(0, [1], POST)
+
+    def test_delivery_skips_crashed_destinations(self, complete_net):
+        complete_net.crash_node(5)
+        outcome = complete_net.deliver(0, [4, 5], POST)
+        assert outcome.reached == frozenset({4})
+        assert outcome.unreachable == frozenset({5})
+
+    def test_unknown_destination_raises(self, complete_net):
+        with pytest.raises(UnknownNodeError):
+            complete_net.deliver(0, [77], POST)
+
+    def test_broadcast_floods_survivors(self, complete_net):
+        complete_net.crash_node(8)
+        outcome = complete_net.broadcast(0, QUERY)
+        assert outcome.reached == frozenset(range(8))
+
+
+class TestPostAndQuery:
+    def test_post_then_query_finds_address(self, complete_net, port):
+        complete_net.post(2, port, targets=[4, 5])
+        outcome = complete_net.query(7, port, targets=[5])
+        assert outcome.found
+        assert outcome.freshest().address == Address(2)
+        assert outcome.reply_hops == 1
+
+    def test_query_misses_when_sets_disjoint(self, complete_net, port):
+        complete_net.post(2, port, targets=[4])
+        outcome = complete_net.query(7, port, targets=[5, 6])
+        assert not outcome.found
+
+    def test_newer_post_wins_at_rendezvous(self, complete_net, port):
+        complete_net.post(1, port, targets=[4], server_id="s")
+        complete_net.post(2, port, targets=[4], server_id="s")
+        outcome = complete_net.query(0, port, targets=[4])
+        assert outcome.freshest().address == Address(2)
+
+    def test_unpost_withdraws(self, complete_net, port):
+        complete_net.post(1, port, targets=[4], server_id="s")
+        complete_net.unpost(1, port, targets=[4], server_id="s")
+        assert not complete_net.query(0, port, targets=[4]).found
+
+    def test_collect_all_returns_every_server(self, complete_net, port):
+        complete_net.post(1, port, targets=[4], server_id="a")
+        complete_net.post(2, port, targets=[4], server_id="b")
+        outcome = complete_net.query(0, port, targets=[4], collect_all=True)
+        assert len(outcome.records) == 2
+
+    def test_post_to_crashed_target_not_stored(self, complete_net, port):
+        complete_net.crash_node(4)
+        complete_net.post(1, port, targets=[4])
+        complete_net.recover_node(4)
+        assert not complete_net.query(0, port, targets=[4]).found
+
+    def test_query_on_self_node_costs_no_hops(self, complete_net, port):
+        complete_net.post(1, port, targets=[3])
+        before = complete_net.stats.total_hops
+        outcome = complete_net.query(3, port, targets=[3])
+        assert outcome.found
+        assert outcome.query_hops == 0
+        assert outcome.reply_hops == 0
+
+    def test_reply_hops_use_routing_distance(self, grid_net, port):
+        grid_net.post((0, 0), port, targets=[(0, 4)])
+        outcome = grid_net.query((4, 4), port, targets=[(0, 4)])
+        assert outcome.found
+        assert outcome.reply_hops == 4  # (0,4) -> (4,4)
+
+    def test_stats_categories_separated(self, complete_net, port):
+        complete_net.post(1, port, targets=[3, 4])
+        complete_net.query(2, port, targets=[3])
+        assert complete_net.stats.hops_for(POST) == 2
+        assert complete_net.stats.hops_for(QUERY) == 1
+        assert complete_net.stats.hops_for(REPLY) == 1
+
+
+class TestFaultsAndPayload:
+    def test_crash_loses_cache(self, complete_net, port):
+        complete_net.post(1, port, targets=[4])
+        complete_net.crash_node(4)
+        complete_net.recover_node(4)
+        assert not complete_net.query(0, port, targets=[4]).found
+
+    def test_send_payload_counts_hops(self, grid_net):
+        hops = grid_net.send_payload((0, 0), (2, 3))
+        assert hops == 5
+        assert grid_net.stats.hops_for(PAYLOAD) == 5
+
+    def test_send_payload_to_down_node_raises(self, complete_net):
+        complete_net.crash_node(3)
+        with pytest.raises(NodeDownError):
+            complete_net.send_payload(0, 3)
+
+    def test_failed_link_changes_route_or_blocks(self, grid5, port):
+        network = Network(grid5.graph, delivery_mode="unicast")
+        # Fail one link on the shortest path; payload should still arrive via
+        # a detour on a grid.
+        network.fail_link((0, 0), (0, 1))
+        hops = network.send_payload((0, 0), (0, 2))
+        assert hops >= 2
+
+    def test_up_nodes_listing(self, complete_net):
+        complete_net.crash_node(2)
+        assert 2 not in complete_net.up_nodes()
+        assert len(complete_net.up_nodes()) == 8
+
+    def test_cache_sizes_and_max(self, complete_net, ports):
+        for i in range(3):
+            complete_net.post(0, ports.new_port(), targets=[5])
+        sizes = complete_net.cache_sizes()
+        assert sizes[5] == 3
+        assert complete_net.max_cache_size() == 3
+
+    def test_reset_stats(self, complete_net, port):
+        complete_net.post(0, port, targets=[1])
+        complete_net.reset_stats()
+        assert complete_net.stats.total_hops == 0

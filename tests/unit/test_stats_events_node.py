@@ -1,0 +1,187 @@
+"""Unit tests for MessageStats, EventLoop and Node."""
+
+import pytest
+
+from repro.core.exceptions import NodeDownError
+from repro.core.types import Address, Port, PostRecord
+from repro.network.cache import BoundedCache
+from repro.network.events import EventLoop
+from repro.network.node import Node
+from repro.network.stats import POST, QUERY, REPLY, MessageStats
+
+
+class TestMessageStats:
+    def test_record_and_totals(self):
+        stats = MessageStats()
+        stats.record(POST, 5)
+        stats.record(QUERY, 3, message_count=2)
+        assert stats.total_hops == 8
+        assert stats.total_messages == 3
+        assert stats.hops_for(POST) == 5
+        assert stats.messages_for(QUERY) == 2
+
+    def test_match_making_hops_excludes_replies(self):
+        stats = MessageStats()
+        stats.record(POST, 4)
+        stats.record(QUERY, 6)
+        stats.record(REPLY, 2)
+        assert stats.match_making_hops == 10
+        assert stats.total_hops == 12
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            MessageStats().record(POST, -1)
+
+    def test_merge(self):
+        a = MessageStats()
+        a.record(POST, 2)
+        b = MessageStats()
+        b.record(POST, 3)
+        b.record(QUERY, 1)
+        a.merge(b)
+        assert a.hops_for(POST) == 5
+        assert a.hops_for(QUERY) == 1
+
+    def test_snapshot_and_diff(self):
+        stats = MessageStats()
+        stats.record(POST, 2)
+        snap = stats.snapshot()
+        stats.record(POST, 3)
+        stats.record(QUERY, 1)
+        delta = stats.diff(snap)
+        assert delta.hops_for(POST) == 3
+        assert delta.hops_for(QUERY) == 1
+        # Snapshot itself is unchanged by later recording.
+        assert snap.hops_for(POST) == 2
+
+    def test_reset(self):
+        stats = MessageStats()
+        stats.record(POST, 5)
+        stats.reset()
+        assert stats.total_hops == 0
+
+    def test_unknown_category_zero(self):
+        assert MessageStats().hops_for("nonexistent") == 0
+
+
+class TestEventLoop:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule_at(5, lambda: order.append("b"))
+        loop.schedule_at(2, lambda: order.append("a"))
+        loop.run_until_idle()
+        assert order == ["a", "b"]
+        assert loop.now == 5
+
+    def test_same_time_fifo(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule_at(1, lambda: order.append(1))
+        loop.schedule_at(1, lambda: order.append(2))
+        loop.run_until_idle()
+        assert order == [1, 2]
+
+    def test_schedule_after(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_after(3, lambda: fired.append(loop.now))
+        loop.run_until(10)
+        assert fired == [3]
+
+    def test_run_until_respects_deadline(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(2, lambda: fired.append(2))
+        loop.schedule_at(8, lambda: fired.append(8))
+        executed = loop.run_until(5)
+        assert executed == 1
+        assert fired == [2]
+        assert loop.now == 5
+        assert loop.pending == 1
+
+    def test_cannot_schedule_in_past(self):
+        loop = EventLoop()
+        loop.schedule_at(5, lambda: None)
+        loop.run_until(5)
+        with pytest.raises(ValueError):
+            loop.schedule_at(3, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoop().schedule_after(-1, lambda: None)
+
+    def test_step_on_idle_loop(self):
+        assert EventLoop().step() is False
+
+    def test_advance(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(4, lambda: fired.append(True))
+        loop.advance(10)
+        assert fired == [True]
+        assert loop.now == 10
+
+    def test_self_rescheduling_event_bounded(self):
+        loop = EventLoop()
+
+        def tick():
+            loop.schedule_after(1, tick)
+
+        loop.schedule_at(0, tick)
+        executed = loop.run_until(5, max_events=3)
+        assert executed == 3
+
+    def test_processed_counter(self):
+        loop = EventLoop()
+        loop.schedule_at(1, lambda: None)
+        loop.schedule_at(2, lambda: None)
+        loop.run_until_idle()
+        assert loop.processed == 2
+
+
+class TestNode:
+    def test_accept_post_and_answer_query(self, port):
+        node = Node(7)
+        node.accept_post(PostRecord(port, Address(3), timestamp=1))
+        answer = node.answer_query(port)
+        assert answer.address == Address(3)
+
+    def test_answer_query_unknown_port(self, port):
+        assert Node(1).answer_query(port) is None
+
+    def test_crash_clears_cache_and_blocks_operations(self, port):
+        node = Node(1)
+        node.accept_post(PostRecord(port, Address(2), timestamp=1))
+        node.crash()
+        assert not node.alive
+        with pytest.raises(NodeDownError):
+            node.answer_query(port)
+        node.recover()
+        assert node.alive
+        assert node.answer_query(port) is None  # cache was lost
+
+    def test_cache_size(self, port, ports):
+        node = Node(1)
+        for i in range(4):
+            node.accept_post(PostRecord(ports.new_port(), Address(i), timestamp=i))
+        assert node.cache_size() == 4
+
+    def test_forget_port_and_server(self, port):
+        node = Node(1)
+        node.accept_post(PostRecord(port, Address(1), timestamp=1, server_id="a"))
+        node.accept_post(PostRecord(port, Address(2), timestamp=2, server_id="b"))
+        node.forget_server(port, "a")
+        assert len(node.answer_query_all(port)) == 1
+        node.forget_port(port)
+        assert node.answer_query(port) is None
+
+    def test_replace_cache(self, port):
+        node = Node(1)
+        node.replace_cache(BoundedCache(capacity=1))
+        node.accept_post(PostRecord(port, Address(1), timestamp=1))
+        assert node.cache_size() == 1
+        assert isinstance(node.cache, BoundedCache)
+
+    def test_address(self):
+        assert Node((2, 3)).address == Address((2, 3))

@@ -1,0 +1,84 @@
+"""Unit tests for the MatchMakingStrategy abstraction."""
+
+import pytest
+
+from repro.core.exceptions import StrategyError
+from repro.core.strategy import FunctionalStrategy
+from repro.core.types import Port
+
+
+@pytest.fixture
+def universe():
+    return list(range(9))
+
+
+@pytest.fixture
+def broadcastish(universe):
+    return FunctionalStrategy(
+        post=lambda i: {i},
+        query=lambda j: set(universe),
+        name="bcast",
+        universe=universe,
+    )
+
+
+class TestFunctionalStrategy:
+    def test_post_and_query_sets(self, broadcastish):
+        assert broadcastish.post_set(3) == frozenset({3})
+        assert broadcastish.query_set(5) == frozenset(range(9))
+
+    def test_universe_exposed(self, broadcastish):
+        assert broadcastish.universe() == frozenset(range(9))
+
+    def test_universe_optional(self):
+        strategy = FunctionalStrategy(post=lambda i: {i}, query=lambda j: {j})
+        assert strategy.universe() is None
+
+    def test_name(self, broadcastish):
+        assert broadcastish.name == "bcast"
+
+
+class TestDerivedQuantities:
+    def test_rendezvous_set(self, broadcastish):
+        assert broadcastish.rendezvous_set(4, 7) == frozenset({4})
+
+    def test_costs(self, broadcastish):
+        assert broadcastish.post_cost(0) == 1
+        assert broadcastish.query_cost(0) == 9
+        assert broadcastish.pair_cost(0, 1) == 10
+
+    def test_guarantees_match(self, broadcastish, universe):
+        for server in universe:
+            for client in universe:
+                assert broadcastish.guarantees_match(server, client)
+
+    def test_no_match_detected(self):
+        strategy = FunctionalStrategy(post=lambda i: {0}, query=lambda j: {1})
+        assert not strategy.guarantees_match(5, 6)
+
+    def test_port_argument_ignored_by_default(self, broadcastish, port):
+        assert broadcastish.post_set(2, port) == broadcastish.post_set(2)
+        assert broadcastish.port_dependent is False
+
+
+class TestValidate:
+    def test_valid_strategy_passes(self, broadcastish, universe):
+        broadcastish.validate(universe)
+
+    def test_missing_rendezvous_detected(self, universe):
+        strategy = FunctionalStrategy(
+            post=lambda i: {0} if i < 5 else {1},
+            query=lambda j: {0},
+            name="broken",
+        )
+        with pytest.raises(StrategyError):
+            strategy.validate(universe)
+
+    def test_out_of_universe_target_detected(self, universe):
+        strategy = FunctionalStrategy(
+            post=lambda i: {999},
+            query=lambda j: {999},
+            name="escapes",
+        )
+        with pytest.raises(StrategyError):
+            strategy.validate(universe)
