@@ -1,0 +1,214 @@
+"""E15 — the workload engine: strategies under production-style traffic.
+
+The paper compares name servers by per-instance message counts; this
+benchmark compares them the way a production operator would — identical
+high-volume traffic (fixed seed, shared arrival/popularity/churn programs)
+through each strategy, reporting tail percentiles, cache hit rates and
+per-node load.  It also measures the MatchMaker's memoized P/Q fast path
+against the unmemoized engine, and persists the headline numbers to
+``BENCH_workload.json`` so later PRs have a performance trajectory.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.matchmaker import MatchMaker
+from repro.core.types import Port
+from repro.network.simulator import Network
+from repro.strategies import CheckerboardStrategy
+from repro.topologies import CompleteTopology
+from repro.workload import (
+    ArrivalSpec,
+    ChurnSpec,
+    PopularitySpec,
+    ScenarioSpec,
+    compare_under_load,
+    run_scenario,
+)
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_workload.json"
+
+#: Strategies driven with the identical traffic program.
+STRATEGIES = ("checkerboard", "hash-locate", "centralized")
+OPERATIONS = 17_000  # x3 strategies = 51,000 locate operations
+
+
+def scale_spec() -> ScenarioSpec:
+    """The high-volume locate scenario: every request runs a locate."""
+    return ScenarioSpec(
+        name="bench-scale",
+        topology="complete:64",
+        strategy=STRATEGIES[0],
+        operations=OPERATIONS,
+        clients=64,
+        servers=8,
+        ports=8,
+        seed=1234,
+        cache_addresses=False,  # pure locate throughput, no address caching
+        arrival=ArrivalSpec(kind="poisson", rate=2000.0),
+        popularity=PopularitySpec(kind="zipf", zipf_exponent=1.1),
+        churn=ChurnSpec(kind="migration", rate=1.0),
+    )
+
+
+def soak_spec() -> ScenarioSpec:
+    """The cached + churn soak: measures hit rates and stale retries."""
+    return ScenarioSpec(
+        name="bench-soak",
+        topology="complete:64",
+        strategy="checkerboard",
+        operations=8_000,
+        clients=32,
+        servers=8,
+        ports=8,
+        seed=99,
+        arrival=ArrivalSpec(kind="poisson", rate=800.0),
+        popularity=PopularitySpec(kind="hotspot", hotspot_fraction=0.7),
+        churn=ChurnSpec(kind="mixed", rate=2.0),
+    )
+
+
+class _CountingCheckerboard(CheckerboardStrategy):
+    """Checkerboard that counts how often the engine re-runs P/Q."""
+
+    def __init__(self, universe):
+        super().__init__(universe)
+        self.calls = 0
+
+    def post_set(self, node, port=None):
+        self.calls += 1
+        return super().post_set(node, port)
+
+    def query_set(self, node, port=None):
+        self.calls += 1
+        return super().query_set(node, port)
+
+
+def measure_memo_speedup(locates: int = 6_000) -> dict:
+    """Run ``locates`` repeated locates with and without P/Q memoization.
+
+    Wall-clock numbers go to ``BENCH_workload.json`` for the perf
+    trajectory; the strategy-invocation counts are the deterministic proof
+    of the fast path (assertable without timing flakiness).
+    """
+    timings = {}
+    calls = {}
+    for memoize in (True, False):
+        topology = CompleteTopology(64)
+        network = Network(topology.graph, delivery_mode="ideal")
+        strategy = _CountingCheckerboard(topology.nodes())
+        matchmaker = MatchMaker(network, strategy, memoize=memoize)
+        port = Port("memo-bench")
+        matchmaker.register_server(5, port)
+        started = time.perf_counter()
+        for i in range(locates):
+            matchmaker.locate(i % 64, port)
+        timings[memoize] = time.perf_counter() - started
+        calls[memoize] = strategy.calls
+    return {
+        "locates": locates,
+        "memoized_seconds": round(timings[True], 4),
+        "unmemoized_seconds": round(timings[False], 4),
+        "speedup": round(timings[False] / timings[True], 3),
+        "strategy_calls_memoized": calls[True],
+        "strategy_calls_unmemoized": calls[False],
+    }
+
+
+def run_workload_experiment():
+    results = compare_under_load(scale_spec(), list(STRATEGIES))
+    soak = run_scenario(soak_spec())
+    return results, soak
+
+
+def test_bench_e15_workload(benchmark, record):
+    results, soak = benchmark.pedantic(
+        run_workload_experiment, rounds=1, iterations=1
+    )
+
+    # -- scale: >= 50,000 locate operations across >= 3 strategies ----------
+    total_locates = sum(result.metrics.locates for result in results)
+    assert len(results) >= 3
+    assert total_locates >= 50_000
+    for result in results:
+        metrics = result.metrics
+        assert metrics.requests == OPERATIONS
+        assert metrics.locates == OPERATIONS  # caching disabled: 1 per request
+        summary = result.summary()
+        # The production metrics are all present and well-formed.
+        for percentile in ("p50", "p95", "p99"):
+            assert percentile in summary["locate_hops"]
+        assert "cache_hit_rate" in summary
+        assert summary["load"]["nodes"] == 64
+        assert summary["load"]["max"] > 0
+
+    # Identical traffic, different name servers: the paper's ordering.  The
+    # centralized server funnels everything through one node (imbalance ~n),
+    # the hashed server through #ports nodes, checkerboard spreads evenly.
+    by_name = {result.spec.strategy: result for result in results}
+    imbalance = {
+        name: result.metrics.load_balance()["imbalance"]
+        for name, result in by_name.items()
+    }
+    assert imbalance["centralized"] > imbalance["hash-locate"] > imbalance[
+        "checkerboard"
+    ]
+    assert imbalance["centralized"] >= 50  # ~n on the 64-node network
+    p95 = {
+        name: result.metrics.locate_hops.percentile(95)
+        for name, result in by_name.items()
+    }
+    assert p95["centralized"] <= 2
+    assert p95["hash-locate"] <= 2
+    assert 8 <= p95["checkerboard"] <= 24  # Theta(sqrt 64) + reply traffic
+
+    # -- reproducibility: identical metrics across two runs ------------------
+    repeat = run_scenario(scale_spec().with_strategy(STRATEGIES[0]))
+    assert repeat.summary() == by_name[STRATEGIES[0]].summary()
+
+    # -- the cached soak exercises the cache + churn machinery ---------------
+    assert soak.metrics.cache_hit_rate > 0.5
+    assert soak.metrics.stale_retries > 0
+    assert soak.metrics.churn_events
+    assert soak.metrics.success_rate > 0.9
+
+    # -- memoized P/Q fast path ----------------------------------------------
+    memo = measure_memo_speedup()
+    # Deterministic proof: without the memo every locate re-runs the
+    # strategy; with it only the 64 distinct query sets (plus the one post
+    # set) are ever computed.
+    assert memo["strategy_calls_unmemoized"] == memo["locates"] + 1
+    assert memo["strategy_calls_memoized"] == 64 + 1
+
+    # -- persist the perf trajectory -----------------------------------------
+    payload = {
+        "experiment": "e15-workload",
+        "scenario": scale_spec().to_dict(),
+        "strategies": {
+            result.spec.strategy: {
+                "ops_per_second": int(result.ops_per_second),
+                "locates": result.metrics.locates,
+                "p50_locate_hops": result.metrics.locate_hops.percentile(50),
+                "p95_locate_hops": result.metrics.locate_hops.percentile(95),
+                "p99_locate_hops": result.metrics.locate_hops.percentile(99),
+                "cache_hit_rate": round(result.metrics.cache_hit_rate, 4),
+                "load_imbalance": result.metrics.load_balance()["imbalance"],
+                "stale_retries": result.metrics.stale_retries,
+            }
+            for result in results
+        },
+        "soak": {
+            "cache_hit_rate": round(soak.metrics.cache_hit_rate, 4),
+            "stale_retries": soak.metrics.stale_retries,
+            "churn_events": soak.metrics.churn_events,
+        },
+        "memoization": memo,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    record(
+        total_locates=total_locates,
+        ops_per_second_checkerboard=int(by_name["checkerboard"].ops_per_second),
+        memo_speedup=memo["speedup"],
+    )

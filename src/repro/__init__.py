@@ -61,6 +61,19 @@ from .strategies import (
     TreePathStrategy,
     default_registry,
 )
+from .workload import (
+    ArrivalSpec,
+    ChurnSpec,
+    PopularitySpec,
+    ScenarioSpec,
+    Trace,
+    WorkloadDriver,
+    WorkloadMetrics,
+    WorkloadResult,
+    compare_under_load,
+    replay_trace,
+    run_scenario,
+)
 from .topologies import (
     CompleteTopology,
     CubeConnectedCyclesTopology,
@@ -80,9 +93,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Address",
+    "ArrivalSpec",
     "BroadcastStrategy",
     "CentralizedStrategy",
     "CheckerboardStrategy",
+    "ChurnSpec",
     "ClientProcess",
     "CompleteTopology",
     "CubeConnectedCyclesStrategy",
@@ -105,6 +120,7 @@ __all__ = [
     "MeshSliceStrategy",
     "MeshTopology",
     "Network",
+    "PopularitySpec",
     "Port",
     "PortFactory",
     "PostRecord",
@@ -112,6 +128,7 @@ __all__ = [
     "ProjectivePlaneTopology",
     "RendezvousMatrix",
     "RingTopology",
+    "ScenarioSpec",
     "ScopedHashStrategy",
     "ServerProcess",
     "Service",
@@ -121,18 +138,25 @@ __all__ = [
     "SubgraphDecompositionStrategy",
     "SupervisorHierarchyStrategy",
     "SweepStrategy",
+    "Trace",
     "TreePathStrategy",
     "TreeTopology",
     "UUCPNetworkGenerator",
+    "WorkloadDriver",
+    "WorkloadMetrics",
+    "WorkloadResult",
     "bounds",
     "compare_strategies",
+    "compare_under_load",
     "comparison_table",
     "complete_graph",
     "decompose",
     "default_registry",
     "format_table",
     "probabilistic",
+    "replay_trace",
     "robustness",
+    "run_scenario",
     "summarize",
     "__version__",
 ]

@@ -35,6 +35,14 @@ from ..topologies import (
     ProjectivePlaneTopology,
     TreeTopology,
 )
+from ..workload import (
+    ArrivalSpec,
+    ChurnSpec,
+    PopularitySpec,
+    ScenarioSpec,
+    compare_under_load,
+    workload_table,
+)
 from .experiment import format_table
 from .matrix_stats import summarize, summary_as_dict
 from .uucp import paper_profile
@@ -121,6 +129,28 @@ def uucp_section() -> List[Dict[str, object]]:
     ]
 
 
+def workload_section(operations: int = 2500) -> List[Dict[str, object]]:
+    """E15: strategies under identical Zipf + churn traffic (the workload
+    engine)."""
+    base = ScenarioSpec(
+        name="report-workload",
+        topology="complete:36",
+        strategy="checkerboard",
+        operations=operations,
+        clients=24,
+        servers=6,
+        ports=6,
+        seed=42,
+        arrival=ArrivalSpec(kind="poisson", rate=500.0),
+        popularity=PopularitySpec(kind="zipf"),
+        churn=ChurnSpec(kind="migration", rate=4.0),
+    )
+    results = compare_under_load(
+        base, ["centralized", "hash-locate", "checkerboard", "broadcast"]
+    )
+    return workload_table(results)
+
+
 def generate_report() -> str:
     """Build the full plain-text report."""
     sections = [
@@ -137,6 +167,13 @@ def generate_report() -> str:
             title="E5–E9 — topology-specific strategies (addressed-node m(n))",
         ),
         format_table(uucp_section(), title="E10 — the paper's UUCPnet table (shape)"),
+        format_table(
+            workload_section(),
+            title=(
+                "E15 — strategies under identical Zipf + migration traffic "
+                "(workload engine, n = 36)"
+            ),
+        ),
         (
             "E4 — checkerboard on n = 64: m(n) = "
             f"{bounds.checkerboard_matrix(list(range(64))).average_cost():.1f} "

@@ -53,6 +53,12 @@ class MatchMaker:
         Override of the network's default delivery mode for posts/queries
         (``"ideal"`` reproduces the complete-network accounting of the
         theory; ``"unicast"``/``"multicast"`` include routing overhead).
+    memoize:
+        Cache the strategy's P/Q sets per node (and per port, for
+        port-dependent strategies).  P and Q are total *functions* (section
+        2.1), so repeated posts/locates for the same node need not re-run the
+        strategy; high-throughput workloads rely on this fast path.
+        Automatically disabled when ``strategy.deterministic`` is false.
     """
 
     def __init__(
@@ -60,12 +66,18 @@ class MatchMaker:
         network: Network,
         strategy: MatchMakingStrategy,
         delivery_mode: Optional[str] = None,
+        memoize: bool = True,
     ) -> None:
         self._network = network
         self._strategy = strategy
         self._mode = delivery_mode
         self._registrations: Dict[str, ServerRegistration] = {}
         self._server_counter = itertools.count()
+        self._memoize = memoize and getattr(strategy, "deterministic", True)
+        self._post_cache: Dict[Tuple[Hashable, Optional[Port]], frozenset] = {}
+        self._query_cache: Dict[Tuple[Hashable, Optional[Port]], frozenset] = {}
+        self._pq_hits = 0
+        self._pq_misses = 0
 
     @property
     def network(self) -> Network:
@@ -82,6 +94,54 @@ class MatchMaker:
         """All currently registered servers."""
         return list(self._registrations.values())
 
+    # -- memoized P/Q ----------------------------------------------------------
+
+    def _pq_key(
+        self, node: Hashable, port: Optional[Port]
+    ) -> Tuple[Hashable, Optional[Port]]:
+        return (node, port if self._strategy.port_dependent else None)
+
+    def post_set(self, node: Hashable, port: Optional[Port] = None) -> frozenset:
+        """``P(node)``, served from the memo cache when possible."""
+        if not self._memoize:
+            return self._strategy.post_set(node, port)
+        key = self._pq_key(node, port)
+        cached = self._post_cache.get(key)
+        if cached is not None:
+            self._pq_hits += 1
+            return cached
+        self._pq_misses += 1
+        result = self._strategy.post_set(node, port)
+        self._post_cache[key] = result
+        return result
+
+    def query_set(self, node: Hashable, port: Optional[Port] = None) -> frozenset:
+        """``Q(node)``, served from the memo cache when possible."""
+        if not self._memoize:
+            return self._strategy.query_set(node, port)
+        key = self._pq_key(node, port)
+        cached = self._query_cache.get(key)
+        if cached is not None:
+            self._pq_hits += 1
+            return cached
+        self._pq_misses += 1
+        result = self._strategy.query_set(node, port)
+        self._query_cache[key] = result
+        return result
+
+    def pq_cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters of the P/Q memo cache."""
+        return {
+            "hits": self._pq_hits,
+            "misses": self._pq_misses,
+            "entries": len(self._post_cache) + len(self._query_cache),
+        }
+
+    def clear_pq_cache(self) -> None:
+        """Drop all memoized P/Q sets (e.g. after swapping strategy state)."""
+        self._post_cache.clear()
+        self._query_cache.clear()
+
     # -- server side -----------------------------------------------------------
 
     def register_server(
@@ -94,7 +154,7 @@ class MatchMaker:
         skips them, exactly as a real network would.
         """
         server_id = server_id or f"server-{next(self._server_counter)}@{node}"
-        targets = self._strategy.post_set(node, port)
+        targets = self.post_set(node, port)
         before = self._network.stats.hops_for(POST)
         outcome = self._network.post(
             node, port, targets, server_id=server_id, mode=self._mode
@@ -147,7 +207,7 @@ class MatchMaker:
         when no queried node knew an address (e.g. no server registered, or
         all rendezvous nodes crashed).
         """
-        targets = self._strategy.query_set(client_node, port)
+        targets = self.query_set(client_node, port)
         before_query = self._network.stats.hops_for(QUERY)
         outcome = self._network.query(
             client_node, port, targets, mode=self._mode, collect_all=collect_all
@@ -195,7 +255,7 @@ class MatchMaker:
             post_messages=registration.post_hops,
             query_messages=located.query_messages,
             reply_messages=located.reply_messages,
-            nodes_posted=len(self._strategy.post_set(server_node, port)),
+            nodes_posted=len(self.post_set(server_node, port)),
             nodes_queried=located.nodes_queried,
         )
         # Clean up without charging the instance (snapshot/restore counters).
@@ -205,6 +265,8 @@ class MatchMaker:
         self._network.stats.hops.update(snapshot.hops)
         self._network.stats.messages.clear()
         self._network.stats.messages.update(snapshot.messages)
+        self._network.stats.node_load.clear()
+        self._network.stats.node_load.update(snapshot.node_load)
         return result
 
     def average_cost(

@@ -35,6 +35,12 @@ class MatchMakingStrategy(abc.ABC):
     #: Whether P and Q depend on the port (Hash Locate style).
     port_dependent = False
 
+    #: Whether P and Q are pure functions of their arguments.  Every strategy
+    #: from the paper is; randomised experimental strategies should set this
+    #: to ``False`` so engines (e.g. :class:`~repro.core.matchmaker.MatchMaker`)
+    #: know their P/Q sets must not be memoized.
+    deterministic = True
+
     @abc.abstractmethod
     def post_set(
         self, node: Hashable, port: Optional[Port] = None
@@ -140,11 +146,13 @@ class FunctionalStrategy(MatchMakingStrategy):
         query: Callable[[Hashable], Iterable[Hashable]],
         name: str = "functional",
         universe: Optional[Iterable[Hashable]] = None,
+        deterministic: bool = True,
     ) -> None:
         self._post = post
         self._query = query
         self.name = name
         self._universe = frozenset(universe) if universe is not None else None
+        self.deterministic = deterministic
 
     def post_set(
         self, node: Hashable, port: Optional[Port] = None

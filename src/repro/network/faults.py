@@ -19,26 +19,35 @@ from .graph import Graph
 
 @dataclass
 class FaultPlan:
-    """A set of crashed nodes and failed links."""
+    """A set of crashed nodes and failed links.
+
+    ``revision`` increments on every mutation, so consumers (e.g. the
+    simulator's surviving-routing cache) can cheaply detect change.
+    """
 
     crashed_nodes: Set[Hashable] = field(default_factory=set)
     failed_links: Set[FrozenSet] = field(default_factory=set)
+    revision: int = 0
 
     def crash_node(self, node: Hashable) -> None:
         """Mark ``node`` as crashed."""
         self.crashed_nodes.add(node)
+        self.revision += 1
 
     def recover_node(self, node: Hashable) -> None:
         """Mark ``node`` as recovered."""
         self.crashed_nodes.discard(node)
+        self.revision += 1
 
     def fail_link(self, u: Hashable, v: Hashable) -> None:
         """Mark the link ``{u, v}`` as failed."""
         self.failed_links.add(frozenset((u, v)))
+        self.revision += 1
 
     def restore_link(self, u: Hashable, v: Hashable) -> None:
         """Mark the link ``{u, v}`` as restored."""
         self.failed_links.discard(frozenset((u, v)))
+        self.revision += 1
 
     def node_is_up(self, node: Hashable) -> bool:
         """Whether ``node`` is up under this plan."""
@@ -61,6 +70,7 @@ class FaultPlan:
         """Remove all faults."""
         self.crashed_nodes.clear()
         self.failed_links.clear()
+        self.revision += 1
 
 
 def surviving_graph(graph: Graph, plan: FaultPlan) -> Graph:

@@ -102,6 +102,9 @@ class Network:
         }
         self._routing = RoutingTable(self._graph)
         self._faults = FaultPlan()
+        # Routing over the surviving subgraph, rebuilt only when the fault
+        # plan actually changes (keyed by its revision counter).
+        self._surviving_routing_cache: Optional[Tuple[int, RoutingTable]] = None
         self._stats = MessageStats()
         self._clock = EventLoop()
         self._rng = random.Random(seed)
@@ -203,6 +206,17 @@ class Network:
     def _active_faults(self) -> Optional[FaultPlan]:
         return self._faults if self._faults.fault_count else None
 
+    def _surviving_routing(self) -> RoutingTable:
+        """Routing tables honouring the current fault plan (cached)."""
+        faults = self._active_faults()
+        if faults is None:
+            return self._routing
+        cache = self._surviving_routing_cache
+        if cache is None or cache[0] != faults.revision:
+            cache = (faults.revision, RoutingTable(_surviving(self._graph, faults)))
+            self._surviving_routing_cache = cache
+        return cache[1]
+
     def deliver(
         self,
         source: Hashable,
@@ -258,6 +272,7 @@ class Network:
                 outcome.reached - dead, outcome.hops, outcome.unreachable | dead
             )
         self._stats.record(category, outcome.hops, message_count=len(destinations))
+        self._stats.record_load(outcome.reached)
         return outcome
 
     def broadcast(self, source: Hashable, category: str) -> DeliveryOutcome:
@@ -330,12 +345,7 @@ class Network:
         responders: List[Hashable] = []
         reply_hops = 0
         mode = mode or self._delivery_mode
-        faults = self._active_faults()
-        reply_table = (
-            self._routing
-            if faults is None
-            else RoutingTable(_surviving(self._graph, faults))
-        )
+        reply_table = self._surviving_routing() if mode != "ideal" else None
         for target in outcome.reached:
             node = self._nodes[target]
             found = (
@@ -380,12 +390,7 @@ class Network:
             raise NodeDownError(source)
         if not self.node_is_up(destination):
             raise NodeDownError(destination)
-        faults = self._active_faults()
-        table = (
-            self._routing
-            if faults is None
-            else RoutingTable(_surviving(self._graph, faults))
-        )
+        table = self._surviving_routing()
         hops = 0 if source == destination else table.distance(source, destination)
         self._stats.record(PAYLOAD, hops, message_count=1)
         return hops

@@ -9,7 +9,7 @@ experiments can separate posting, querying, replying and payload traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, Tuple
 
 
 #: Categories used by the match-making engine.
@@ -22,10 +22,16 @@ CONTROL = "control"
 
 @dataclass
 class MessageStats:
-    """Counters of message passes (hops) and of messages, by category."""
+    """Counters of message passes (hops) and of messages, by category.
+
+    ``node_load`` additionally counts, per node, how many delivered messages
+    addressed that node — the operational form of the paper's load-balance
+    concern ("the function of name server is distributed evenly").
+    """
 
     hops: Dict[str, int] = field(default_factory=dict)
     messages: Dict[str, int] = field(default_factory=dict)
+    node_load: Dict[Hashable, int] = field(default_factory=dict)
 
     def record(self, category: str, hop_count: int, message_count: int = 1) -> None:
         """Charge ``hop_count`` hops and ``message_count`` messages to
@@ -35,12 +41,23 @@ class MessageStats:
         self.hops[category] = self.hops.get(category, 0) + hop_count
         self.messages[category] = self.messages.get(category, 0) + message_count
 
+    def record_load(self, nodes: Iterable[Hashable]) -> None:
+        """Count one delivered message against each addressed node."""
+        for node in nodes:
+            self.node_load[node] = self.node_load.get(node, 0) + 1
+
+    def load_for(self, node: Hashable) -> int:
+        """Delivered messages that addressed ``node``."""
+        return self.node_load.get(node, 0)
+
     def merge(self, other: "MessageStats") -> None:
         """Add another stats object into this one."""
         for category, count in other.hops.items():
             self.hops[category] = self.hops.get(category, 0) + count
         for category, count in other.messages.items():
             self.messages[category] = self.messages.get(category, 0) + count
+        for node, count in other.node_load.items():
+            self.node_load[node] = self.node_load.get(node, 0) + count
 
     def hops_for(self, category: str) -> int:
         """Hops charged to ``category``."""
@@ -70,7 +87,11 @@ class MessageStats:
 
     def snapshot(self) -> "MessageStats":
         """An independent copy of the current counters."""
-        return MessageStats(hops=dict(self.hops), messages=dict(self.messages))
+        return MessageStats(
+            hops=dict(self.hops),
+            messages=dict(self.messages),
+            node_load=dict(self.node_load),
+        )
 
     def diff(self, earlier: "MessageStats") -> "MessageStats":
         """Counters accumulated since ``earlier`` was snapshotted."""
@@ -82,9 +103,14 @@ class MessageStats:
             category: count - earlier.messages.get(category, 0)
             for category, count in self.messages.items()
         }
+        node_load = {
+            node: count - earlier.node_load.get(node, 0)
+            for node, count in self.node_load.items()
+        }
         return MessageStats(
             hops={k: v for k, v in hops.items() if v},
             messages={k: v for k, v in messages.items() if v},
+            node_load={k: v for k, v in node_load.items() if v},
         )
 
     def items(self) -> Iterator[Tuple[str, int]]:
@@ -95,3 +121,4 @@ class MessageStats:
         """Zero every counter."""
         self.hops.clear()
         self.messages.clear()
+        self.node_load.clear()

@@ -22,7 +22,7 @@ The request path is:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..core.exceptions import (
     NoRouteError,
@@ -61,6 +61,9 @@ class SystemStats:
     locates: int = 0
     stale_addresses: int = 0
     migrations: int = 0
+    recoveries: int = 0
+    invalidation_storms: int = 0
+    reposts: int = 0
 
 
 class DistributedSystem:
@@ -81,6 +84,9 @@ class DistributedSystem:
         self._servers: Dict[int, ServerProcess] = {}
         self._clients: Dict[int, ClientProcess] = {}
         self._registrations: Dict[int, ServerRegistration] = {}
+        # Location index: (node, port) -> server processes, so the hot
+        # request path does not scan every server ever created.
+        self._by_location: Dict[Tuple[Hashable, Port], List[ServerProcess]] = {}
         self._max_retries = max_retries
         self._stats = SystemStats()
 
@@ -134,6 +140,7 @@ class DistributedSystem:
         server = ServerProcess(node, port, handler or service.handler, name=name)
         service.attach(server)
         self._servers[server.pid] = server
+        self._index_add(server)
         registration = self._matchmaker.register_server(
             node, port, server_id=server.name
         )
@@ -153,6 +160,7 @@ class DistributedSystem:
         registration = self._registrations.pop(server.pid, None)
         if registration is not None and self._network.node_is_up(server.node):
             self._matchmaker.deregister_server(registration)
+        self._index_remove(server)
         server.kill()
 
     def migrate_server(self, server: ServerProcess, new_node: Hashable) -> None:
@@ -167,7 +175,9 @@ class DistributedSystem:
         registration = self._registrations.get(server.pid)
         if registration is not None and self._network.node_is_up(server.node):
             self._matchmaker.deregister_server(registration)
+        self._index_remove(server)
         server._move_to(new_node)
+        self._index_add(server)
         self._registrations[server.pid] = self._matchmaker.register_server(
             new_node, server.port, server_id=server.name
         )
@@ -180,18 +190,78 @@ class DistributedSystem:
         for server in self._servers.values():
             if server.node == node and server.alive:
                 server.kill()
+                self._index_remove(server)
                 self._registrations.pop(server.pid, None)
         for client in self._clients.values():
             if client.node == node and client.alive:
                 client.kill()
 
+    def recover_node(self, node: Hashable) -> None:
+        """Bring a crashed node back up (with an empty posting cache).
+
+        Processes that died in the crash stay dead — a recovered processor
+        comes back empty; churn models re-create servers explicitly.
+        """
+        self._network.recover_node(node)
+        self._stats.recoveries += 1
+
+    # -- churn / maintenance hooks ------------------------------------------------
+
+    def invalidate_caches(self, nodes: Optional[Iterable[Hashable]] = None) -> int:
+        """Drop the posting caches of ``nodes`` (default: every up node).
+
+        Models an invalidation storm: rendezvous information is lost but the
+        nodes stay up, so subsequent locates miss until servers re-post.
+        Returns the number of caches cleared.
+        """
+        cleared = 0
+        targets = list(nodes) if nodes is not None else self._network.node_ids()
+        for node_id in targets:
+            node = self._network.node(node_id)
+            if node.alive:
+                node.cache.clear()
+                cleared += 1
+        self._stats.invalidation_storms += 1
+        return cleared
+
+    def refresh_server(self, server: ServerProcess) -> None:
+        """Re-post a live server's ``(port, address)`` at ``P(node)``.
+
+        The operational analogue of servers re-advertising after a cache
+        invalidation; the fresh posting carries a newer timestamp, so it wins
+        at every rendezvous node (section 2.1, assumption 3).
+        """
+        server.require_alive()
+        self._registrations[server.pid] = self._matchmaker.register_server(
+            server.node, server.port, server_id=server.name
+        )
+        self._stats.reposts += 1
+
+    def servers_for(self, port: Port) -> List[ServerProcess]:
+        """All live, accepting servers currently offering ``port``."""
+        return [
+            server
+            for server in self._servers.values()
+            if server.port == port and server.accepting
+        ]
+
     # -- the request path -----------------------------------------------------------
+
+    def _index_add(self, server: ServerProcess) -> None:
+        self._by_location.setdefault((server.node, server.port), []).append(server)
+
+    def _index_remove(self, server: ServerProcess) -> None:
+        bucket = self._by_location.get((server.node, server.port))
+        if bucket is not None and server in bucket:
+            bucket.remove(server)
+            if not bucket:
+                del self._by_location[(server.node, server.port)]
 
     def _accepting_server_at(
         self, node: Hashable, port: Port
     ) -> Optional[ServerProcess]:
-        for server in self._servers.values():
-            if server.node == node and server.port == port and server.accepting:
+        for server in self._by_location.get((node, port), ()):
+            if server.accepting:
                 return server
         return None
 
@@ -292,6 +362,21 @@ class DistributedSystem:
             used_cached_address=used_cache,
             error=f"retry budget exhausted for {port}",
         )
+
+    def request_batch(
+        self, operations: Iterable[Tuple[ClientProcess, Port, object]]
+    ) -> List[RequestOutcome]:
+        """Run a batch of ``(client, port, payload)`` requests back-to-back.
+
+        A convenience entry point for callers that want many operations per
+        call without per-request instrumentation (callers that meter each
+        request, like the workload driver, call :meth:`request` directly).
+        The returned outcomes line up with the input order.
+        """
+        return [
+            self.request(client, port, payload)
+            for client, port, payload in operations
+        ]
 
     def request_or_raise(
         self, client: ClientProcess, port: Port, payload: object

@@ -1,0 +1,106 @@
+"""Trace-driven workload engine: traffic generation, churn and metrics.
+
+The paper evaluates match-making strategies one locate at a time; the
+motivating system (Amoeba's processor pool) serves continuous streams of
+requests against a shifting population of servers.  This subpackage closes
+that gap: declarative :class:`ScenarioSpec`\\ s compose arrival processes
+(closed-loop, Poisson, bursts), popularity models (uniform, Zipf, moving
+hotspot) and churn models (migration, failover, invalidation storms); the
+:class:`WorkloadDriver` executes tens of thousands of operations against a
+:class:`~repro.processes.system.DistributedSystem` and measures the result
+like a production service — hop percentiles, cache hit rates, per-node load
+— with byte-exact trace record/replay for reproducibility.
+
+Quick start::
+
+    from repro.workload import ScenarioSpec, PopularitySpec, run_scenario
+
+    spec = ScenarioSpec(
+        name="soak",
+        topology="manhattan:8",
+        strategy="checkerboard",
+        operations=20_000,
+        clients=32,
+        servers=8,
+        ports=8,
+        popularity=PopularitySpec(kind="zipf"),
+    )
+    result = run_scenario(spec)
+    print(result.summary()["locate_hops"])   # {'p50': ..., 'p95': ..., ...}
+"""
+
+from .arrivals import (
+    ArrivalProcess,
+    BurstArrivals,
+    ClosedLoopArrivals,
+    PoissonArrivals,
+)
+from .churn import (
+    ChurnEvent,
+    ChurnModel,
+    FailoverChurn,
+    MigrationChurn,
+    MixedChurn,
+    NoChurn,
+    StormChurn,
+)
+from .driver import (
+    WorkloadDriver,
+    WorkloadResult,
+    compare_under_load,
+    replay_trace,
+    run_scenario,
+    workload_table,
+)
+from .metrics import HopHistogram, WorkloadMetrics
+from .popularity import (
+    MovingHotspotPopularity,
+    PopularityModel,
+    UniformPopularity,
+    ZipfPopularity,
+)
+from .spec import (
+    ArrivalSpec,
+    ChurnSpec,
+    PopularitySpec,
+    ScenarioSpec,
+    build_strategy,
+    build_topology,
+    strategy_names,
+)
+from .trace import Trace, TraceOp
+
+__all__ = [
+    "ArrivalProcess",
+    "ArrivalSpec",
+    "BurstArrivals",
+    "ChurnEvent",
+    "ChurnModel",
+    "ChurnSpec",
+    "ClosedLoopArrivals",
+    "FailoverChurn",
+    "HopHistogram",
+    "MigrationChurn",
+    "MixedChurn",
+    "MovingHotspotPopularity",
+    "NoChurn",
+    "PoissonArrivals",
+    "PopularityModel",
+    "PopularitySpec",
+    "ScenarioSpec",
+    "StormChurn",
+    "Trace",
+    "TraceOp",
+    "UniformPopularity",
+    "WorkloadDriver",
+    "WorkloadMetrics",
+    "WorkloadResult",
+    "ZipfPopularity",
+    "build_strategy",
+    "build_topology",
+    "compare_under_load",
+    "replay_trace",
+    "run_scenario",
+    "strategy_names",
+    "workload_table",
+]

@@ -1,0 +1,128 @@
+"""Churn models: how the server population shifts while traffic flows.
+
+The paper's motivating system is in constant flux — "server processes can
+migrate", nodes crash and recover, and cached rendezvous information decays.
+A churn model turns a :class:`~repro.workload.spec.ChurnSpec` into a
+deterministic schedule of abstract :class:`ChurnEvent`\\ s (a Poisson process
+over the scenario's simulated duration).  The workload driver resolves each
+abstract event against live system state — *which* server migrates *where*
+— and records the resolution in the trace, so replays are exact.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .spec import ChurnSpec
+
+#: Abstract churn event kinds.
+MIGRATE = "migrate"
+FAILOVER = "failover"
+STORM = "storm"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled churn event (not yet resolved to concrete targets)."""
+
+    time: float
+    kind: str
+
+
+class ChurnModel(abc.ABC):
+    """Base class: a reproducible churn event schedule."""
+
+    kind = "churn"
+
+    @abc.abstractmethod
+    def schedule(self, rng: random.Random, horizon: float) -> List[ChurnEvent]:
+        """All churn events in ``[0, horizon)``, in time order."""
+
+
+class NoChurn(ChurnModel):
+    """A static system: no churn at all."""
+
+    kind = "none"
+
+    def schedule(self, rng: random.Random, horizon: float) -> List[ChurnEvent]:
+        return []
+
+
+class PoissonChurn(ChurnModel):
+    """Churn events as a Poisson process at ``rate`` events/second, each
+    event's kind drawn from ``kinds`` (uniformly, one rng draw per event)."""
+
+    def __init__(self, rate: float, kinds: Sequence[str]) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if not kinds:
+            raise ValueError("need at least one event kind")
+        self._rate = rate
+        self._kinds = tuple(kinds)
+
+    def schedule(self, rng: random.Random, horizon: float) -> List[ChurnEvent]:
+        events: List[ChurnEvent] = []
+        now = rng.expovariate(self._rate)
+        while now < horizon:
+            kind = self._kinds[0] if len(self._kinds) == 1 else rng.choice(self._kinds)
+            events.append(ChurnEvent(time=now, kind=kind))
+            now += rng.expovariate(self._rate)
+        return events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(rate={self._rate}, kinds={self._kinds})"
+
+
+class MigrationChurn(PoissonChurn):
+    """Servers migrate between nodes (paper section 1.3)."""
+
+    kind = "migration"
+
+    def __init__(self, rate: float) -> None:
+        super().__init__(rate, (MIGRATE,))
+
+
+class FailoverChurn(PoissonChurn):
+    """Server-hosting nodes crash (and later recover); servers respawn
+    elsewhere, exercising the freshest-posting-wins path."""
+
+    kind = "failover"
+
+    def __init__(self, rate: float) -> None:
+        super().__init__(rate, (FAILOVER,))
+
+
+class StormChurn(PoissonChurn):
+    """Cache-invalidation storms: rendezvous caches wiped en masse."""
+
+    kind = "storm"
+
+    def __init__(self, rate: float) -> None:
+        super().__init__(rate, (STORM,))
+
+
+class MixedChurn(PoissonChurn):
+    """All three churn kinds, drawn uniformly per event."""
+
+    kind = "mixed"
+
+    def __init__(self, rate: float) -> None:
+        super().__init__(rate, (MIGRATE, FAILOVER, STORM))
+
+
+def from_spec(spec: ChurnSpec) -> ChurnModel:
+    """Build the churn model a :class:`ChurnSpec` describes."""
+    if spec.kind == "none":
+        return NoChurn()
+    if spec.kind == "migration":
+        return MigrationChurn(spec.rate)
+    if spec.kind == "failover":
+        return FailoverChurn(spec.rate)
+    if spec.kind == "storm":
+        return StormChurn(spec.rate)
+    if spec.kind == "mixed":
+        return MixedChurn(spec.rate)
+    raise ValueError(f"unknown churn kind {spec.kind!r}")

@@ -1,0 +1,418 @@
+"""The workload driver: runs a scenario spec as production-style traffic.
+
+The driver turns a declarative :class:`~repro.workload.spec.ScenarioSpec`
+into tens of thousands of executed operations against a freshly built
+:class:`~repro.processes.system.DistributedSystem`:
+
+1. the arrival process, popularity model and churn model are materialized
+   into one time-ordered program (each concern on its own seeded generator,
+   so streams do not perturb each other);
+2. every abstract step is resolved against live system state into a concrete
+   :class:`~repro.workload.trace.TraceOp` (which server migrates to which
+   node, which nodes a storm wipes) and executed through a single op
+   interpreter — the same interpreter replays recorded traces, which is what
+   makes replays exact;
+3. hop deltas are read per-operation from the network's counters (integer
+   reads, no snapshots on the hot path), and the matchmaker's memoized P/Q
+   sets plus the clients' private address caches keep repeated locates off
+   the slow path.
+
+Run and replay of the same scenario produce identical
+:meth:`~repro.workload.metrics.WorkloadMetrics.summary` dictionaries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from ..core.types import Port
+from ..network.stats import PAYLOAD, QUERY, REPLY
+from ..processes.client import ClientProcess
+from ..processes.server import ServerProcess
+from ..processes.system import DistributedSystem
+from . import arrivals as _arrivals
+from . import churn as _churn
+from . import popularity as _popularity
+from .metrics import WorkloadMetrics, merge_node_load
+from .spec import ScenarioSpec, build_strategy, build_topology
+from .trace import CRASH, MIGRATE, RECOVER, REQUEST, RESPAWN, STORM, Trace, TraceOp
+
+
+@dataclass
+class WorkloadResult:
+    """Everything one workload run produced."""
+
+    spec: ScenarioSpec
+    metrics: WorkloadMetrics
+    trace: Trace
+    wall_seconds: float
+
+    @property
+    def ops_per_second(self) -> float:
+        """Executed requests per wall-clock second (not deterministic)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.metrics.requests / self.wall_seconds
+
+    def summary(self) -> Dict[str, object]:
+        """Deterministic digest: scenario identity plus the run's metrics."""
+        return {
+            "name": self.spec.name,
+            "topology": self.spec.topology,
+            "strategy": self.spec.strategy,
+            **self.metrics.summary(),
+        }
+
+
+class _RunState:
+    """Mutable per-run execution state (fresh for every run/replay)."""
+
+    def __init__(
+        self,
+        system: DistributedSystem,
+        clients: List[ClientProcess],
+        slots: List[ServerProcess],
+    ) -> None:
+        self.system = system
+        self.network = system.network
+        self.clients = clients
+        #: Server *slots*: slot k always denotes "the k-th logical server";
+        #: failover respawns install the replacement process in the same slot.
+        self.slots = slots
+        self.client_nodes = frozenset(client.node for client in clients)
+
+
+class WorkloadDriver:
+    """Executes one scenario: generation, batched driving, measurement."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self._topology = build_topology(spec.topology)
+        self._strategy = build_strategy(spec.strategy, self._topology)
+        # A canonical node order gives every node a stable integer index;
+        # traces store indices, never raw (possibly tuple-valued) node ids.
+        self._nodes: List[Hashable] = sorted(self._topology.nodes(), key=repr)
+        self._node_index = {node: i for i, node in enumerate(self._nodes)}
+        self._ports = [Port(f"{spec.name}/svc-{i}") for i in range(spec.ports)]
+
+    @property
+    def topology(self):
+        """The resolved topology."""
+        return self._topology
+
+    @property
+    def strategy(self):
+        """The resolved strategy."""
+        return self._strategy
+
+    # -- environment construction ---------------------------------------------
+
+    def _build_state(self) -> _RunState:
+        """A fresh network + system with servers and clients placed.
+
+        Placement draws from a dedicated generator derived only from the
+        spec's seed, so a replay rebuilds the identical initial system.
+        """
+        spec = self.spec
+        network = self._topology.build_network(delivery_mode=spec.delivery_mode)
+        system = DistributedSystem(
+            network,
+            self._strategy,
+            delivery_mode=spec.delivery_mode,
+            max_retries=spec.max_retries,
+        )
+        placement = random.Random(f"{spec.seed}/placement")
+        slots = [
+            system.create_server(
+                placement.choice(self._nodes),
+                self._ports[slot % spec.ports],
+                name=f"srv-{slot}",
+            )
+            for slot in range(spec.servers)
+        ]
+        clients = [
+            system.create_client(placement.choice(self._nodes), name=f"cli-{i}")
+            for i in range(spec.clients)
+        ]
+        return _RunState(system, clients, slots)
+
+    # -- the op interpreter ----------------------------------------------------
+
+    def _exec_op(
+        self, state: _RunState, metrics: WorkloadMetrics, op: TraceOp
+    ) -> None:
+        """Execute one fully-resolved operation (run and replay both land
+        here)."""
+        system = state.system
+        if op.kind == REQUEST:
+            client_index, port_index = op.args
+            client = state.clients[client_index]
+            port = self._ports[port_index]
+            if not self.spec.cache_addresses:
+                client.forget_address(port)
+            hops = state.network.stats.hops
+            query0 = hops.get(QUERY, 0)
+            reply0 = hops.get(REPLY, 0)
+            payload0 = hops.get(PAYLOAD, 0)
+            outcome = system.request(client, port, payload=None)
+            locate_hops = (
+                hops.get(QUERY, 0) - query0 + hops.get(REPLY, 0) - reply0
+            )
+            total_hops = locate_hops + hops.get(PAYLOAD, 0) - payload0
+            metrics.observe_request(
+                ok=outcome.ok,
+                locates=outcome.locates,
+                retries=outcome.retries,
+                from_cache=outcome.used_cached_address,
+                locate_hops=locate_hops,
+                total_hops=total_hops,
+            )
+        elif op.kind == MIGRATE:
+            slot, node_index = op.args
+            system.migrate_server(state.slots[slot], self._nodes[node_index])
+            metrics.observe_churn(MIGRATE)
+        elif op.kind == CRASH:
+            system.crash_node(self._nodes[op.args[0]])
+            metrics.observe_churn(CRASH)
+        elif op.kind == RESPAWN:
+            slot, node_index = op.args
+            state.slots[slot] = system.create_server(
+                self._nodes[node_index],
+                self._ports[slot % self.spec.ports],
+                name=f"srv-{slot}",
+            )
+            metrics.observe_churn(RESPAWN)
+        elif op.kind == RECOVER:
+            system.recover_node(self._nodes[op.args[0]])
+            # The node returns with an empty cache; live servers re-advertise
+            # so rendezvous through it works again (fresh timestamps win).
+            for server in state.slots:
+                if server.accepting:
+                    system.refresh_server(server)
+            metrics.observe_churn(RECOVER)
+        elif op.kind == STORM:
+            system.invalidate_caches(self._nodes[i] for i in op.args)
+            # Servers notice and re-advertise; their fresh timestamps win at
+            # every rendezvous node.
+            for server in state.slots:
+                if server.accepting:
+                    system.refresh_server(server)
+            metrics.observe_churn(STORM)
+        else:  # pragma: no cover - TraceOp validates kinds
+            raise ValueError(f"unknown op kind {op.kind!r}")
+
+    # -- churn resolution ------------------------------------------------------
+
+    def _up_node_indices(self, state: _RunState) -> List[int]:
+        return [
+            i for i, node in enumerate(self._nodes)
+            if state.network.node_is_up(node)
+        ]
+
+    def _resolve_churn(
+        self,
+        state: _RunState,
+        event: _churn.ChurnEvent,
+        rng: random.Random,
+        pending_recoveries: List[Tuple[float, int]],
+    ) -> List[TraceOp]:
+        """Turn an abstract churn event into concrete trace ops.
+
+        Resolution consults live state (who is alive, what is up), draws any
+        random choices from ``rng``, and may schedule a recovery; the
+        returned ops are ready for :meth:`_exec_op`.
+        """
+        if event.kind == _churn.MIGRATE:
+            candidates = [
+                slot for slot, server in enumerate(state.slots) if server.accepting
+            ]
+            ups = self._up_node_indices(state)
+            if not candidates or not ups:
+                return []
+            slot = rng.choice(candidates)
+            return [TraceOp(MIGRATE, event.time, (slot, rng.choice(ups)))]
+
+        if event.kind == _churn.FAILOVER:
+            # Crash a server-hosting node; keep client hosts up so the
+            # request stream survives.
+            victims = sorted(
+                {
+                    self._node_index[server.node]
+                    for server in state.slots
+                    if server.alive
+                    and server.node not in state.client_nodes
+                    and state.network.node_is_up(server.node)
+                }
+            )
+            if not victims:
+                return []
+            victim = rng.choice(victims)
+            victim_node = self._nodes[victim]
+            killed = [
+                slot
+                for slot, server in enumerate(state.slots)
+                if server.alive and server.node == victim_node
+            ]
+            ops = [TraceOp(CRASH, event.time, (victim,))]
+            ups = [i for i in self._up_node_indices(state) if i != victim]
+            for slot in killed:
+                if ups:
+                    ops.append(TraceOp(RESPAWN, event.time, (slot, rng.choice(ups))))
+            heapq.heappush(
+                pending_recoveries, (event.time + self.spec.churn.downtime, victim)
+            )
+            return ops
+
+        if event.kind == _churn.STORM:
+            ups = self._up_node_indices(state)
+            if not ups:
+                return []
+            sample_size = max(1, int(self.spec.churn.storm_fraction * len(ups)))
+            struck = sorted(rng.sample(ups, sample_size))
+            return [TraceOp(STORM, event.time, tuple(struck))]
+
+        raise ValueError(f"unknown churn event kind {event.kind!r}")
+
+    # -- run / replay ----------------------------------------------------------
+
+    def run(self) -> WorkloadResult:
+        """Generate and execute the scenario, recording a replayable trace."""
+        spec = self.spec
+        arrival_process = _arrivals.from_spec(spec.arrival)
+        popularity_model = _popularity.from_spec(spec.popularity, spec.ports)
+        churn_model = _churn.from_spec(spec.churn)
+
+        # One private generator per concern: arrival jitter cannot perturb
+        # popularity draws, churn cannot perturb either.
+        arrival_rng = random.Random(f"{spec.seed}/arrivals")
+        popularity_rng = random.Random(f"{spec.seed}/popularity")
+        churn_rng = random.Random(f"{spec.seed}/churn")
+        resolve_rng = random.Random(f"{spec.seed}/resolve")
+
+        requests = list(
+            arrival_process.arrivals(arrival_rng, spec.operations, spec.clients)
+        )
+        horizon = requests[-1][0] + 1e-9 if requests else 0.0
+        churn_events = churn_model.schedule(churn_rng, horizon)
+
+        state = self._build_state()
+        trace = Trace(spec.to_dict())
+        metrics = WorkloadMetrics(universe_size=len(self._nodes))
+        load_baseline = dict(state.network.stats.node_load)
+        pending_recoveries: List[Tuple[float, int]] = []
+        churn_cursor = 0
+        started = _time.perf_counter()
+
+        def _drain(until: float) -> None:
+            """Execute recoveries and churn due at or before ``until``."""
+            nonlocal churn_cursor
+            while True:
+                if not pending_recoveries and churn_cursor >= len(churn_events):
+                    return
+                recovery_due = (
+                    pending_recoveries[0][0] if pending_recoveries else float("inf")
+                )
+                churn_due = (
+                    churn_events[churn_cursor].time
+                    if churn_cursor < len(churn_events)
+                    else float("inf")
+                )
+                if recovery_due > until and churn_due > until:
+                    return
+                if recovery_due <= churn_due:
+                    due, node_index = heapq.heappop(pending_recoveries)
+                    op = TraceOp(RECOVER, due, (node_index,))
+                    trace.append(op)
+                    self._exec_op(state, metrics, op)
+                else:
+                    event = churn_events[churn_cursor]
+                    churn_cursor += 1
+                    for op in self._resolve_churn(
+                        state, event, resolve_rng, pending_recoveries
+                    ):
+                        trace.append(op)
+                        self._exec_op(state, metrics, op)
+
+        for now, client_index in requests:
+            _drain(now)
+            port_index = popularity_model.pick(popularity_rng, now)
+            op = TraceOp(REQUEST, now, (client_index, port_index))
+            trace.append(op)
+            self._exec_op(state, metrics, op)
+        _drain(float("inf"))
+
+        wall = _time.perf_counter() - started
+        merge_node_load(metrics, state.network.stats.node_load, load_baseline)
+        return WorkloadResult(
+            spec=spec, metrics=metrics, trace=trace, wall_seconds=wall
+        )
+
+    def replay(self, trace: Trace) -> WorkloadResult:
+        """Execute a recorded trace exactly; metrics match the original
+        run."""
+        state = self._build_state()
+        metrics = WorkloadMetrics(universe_size=len(self._nodes))
+        load_baseline = dict(state.network.stats.node_load)
+        started = _time.perf_counter()
+        for op in trace:
+            self._exec_op(state, metrics, op)
+        wall = _time.perf_counter() - started
+        merge_node_load(metrics, state.network.stats.node_load, load_baseline)
+        return WorkloadResult(
+            spec=self.spec, metrics=metrics, trace=trace, wall_seconds=wall
+        )
+
+
+def run_scenario(spec: ScenarioSpec) -> WorkloadResult:
+    """Build a driver for ``spec`` and run it once."""
+    return WorkloadDriver(spec).run()
+
+
+def replay_trace(trace: Trace) -> WorkloadResult:
+    """Replay a recorded trace under the scenario stored in its header."""
+    spec = ScenarioSpec.from_dict(trace.scenario)
+    return WorkloadDriver(spec).replay(trace)
+
+
+def compare_under_load(
+    base: ScenarioSpec, strategies: Sequence[str]
+) -> List[WorkloadResult]:
+    """Run the *same* traffic program against several strategies.
+
+    Every run shares the base spec's seed, so arrivals, popularity and churn
+    schedules are identical across strategies — only the name server
+    changes, which is exactly the comparison the paper's section 2.3 makes.
+    """
+    return [run_scenario(base.with_strategy(name)) for name in strategies]
+
+
+def workload_table(results: Sequence[WorkloadResult]) -> List[Dict[str, object]]:
+    """Compact per-strategy rows for report tables and benchmark output.
+
+    Rows are fully deterministic (wall-clock throughput deliberately lives
+    on :class:`WorkloadResult`, not here), so reports built from them can be
+    compared byte-for-byte.
+    """
+    rows = []
+    for result in results:
+        metrics = result.metrics
+        load = metrics.load_balance()
+        rows.append(
+            {
+                "strategy": result.spec.strategy,
+                "requests": metrics.requests,
+                "ok%": round(100 * metrics.success_rate, 1),
+                "locates": metrics.locates,
+                "hit%": round(100 * metrics.cache_hit_rate, 1),
+                "stale": metrics.stale_retries,
+                "p50 hops": metrics.locate_hops.percentile(50),
+                "p95 hops": metrics.locate_hops.percentile(95),
+                "p99 hops": metrics.locate_hops.percentile(99),
+                "load max/mean": load["imbalance"],
+            }
+        )
+    return rows

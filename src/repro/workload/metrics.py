@@ -1,0 +1,193 @@
+"""Production-style metrics for workload runs.
+
+The paper compares strategies by worst-case and average message counts; a
+production service is judged by distributions — tail percentiles, hit
+rates, hotspots.  :class:`HopHistogram` is an exact integer histogram (hop
+counts are small integers, so percentiles cost O(distinct values), not
+O(samples)), and :class:`WorkloadMetrics` aggregates one run's request
+stream, churn activity and per-node load into a deterministic summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+
+class HopHistogram:
+    """An exact histogram of small non-negative integer samples."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self._total = 0
+        self._sum = 0
+
+    def add(self, value: int, count: int = 1) -> None:
+        """Record ``count`` samples of ``value``."""
+        if value < 0 or count < 1:
+            raise ValueError("value must be >= 0 and count >= 1")
+        self._counts[value] = self._counts.get(value, 0) + count
+        self._total += count
+        self._sum += value * count
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._sum / self._total if self._total else 0.0
+
+    @property
+    def max(self) -> int:
+        """Largest sample (0 when empty)."""
+        return max(self._counts) if self._counts else 0
+
+    def percentile(self, p: float) -> int:
+        """The nearest-rank ``p``-th percentile (0 when empty)."""
+        if not 0 < p <= 100:
+            raise ValueError("p must be in (0, 100]")
+        if not self._total:
+            return 0
+        rank = max(1, -(-self._total * p // 100))  # ceil without floats
+        seen = 0
+        for value in sorted(self._counts):
+            seen += self._counts[value]
+            if seen >= rank:
+                return value
+        return self.max  # pragma: no cover - unreachable
+
+    def to_dict(self) -> Dict[str, object]:
+        """Mean, tail percentiles and max — the summary a dashboard shows."""
+        return {
+            "count": self._total,
+            "mean": round(self.mean, 3),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+    def buckets(self) -> List[Tuple[int, int]]:
+        """Sorted ``(value, count)`` pairs (the raw histogram)."""
+        return sorted(self._counts.items())
+
+
+@dataclass
+class WorkloadMetrics:
+    """Aggregated measurements of one workload run."""
+
+    requests: int = 0
+    successes: int = 0
+    failures: int = 0
+    #: Requests served straight from the client's address cache (no locate).
+    cache_hits: int = 0
+    locates: int = 0
+    stale_retries: int = 0
+    churn_events: Dict[str, int] = field(default_factory=dict)
+    #: Hops spent on match-making (query + reply) per request.
+    locate_hops: HopHistogram = field(default_factory=HopHistogram)
+    #: Total hops (match-making + payload round trip) per request.
+    request_hops: HopHistogram = field(default_factory=HopHistogram)
+    #: Delivered messages per node over the run (load balance).
+    node_load: Dict[Hashable, int] = field(default_factory=dict)
+    #: Total nodes in the network (so unloaded nodes count toward balance).
+    universe_size: int = 0
+
+    def observe_request(
+        self, ok: bool, locates: int, retries: int, from_cache: bool,
+        locate_hops: int, total_hops: int,
+    ) -> None:
+        """Fold one request's outcome into the aggregates."""
+        self.requests += 1
+        if ok:
+            self.successes += 1
+        else:
+            self.failures += 1
+        if from_cache and locates == 0:
+            self.cache_hits += 1
+        self.locates += locates
+        self.stale_retries += retries
+        self.locate_hops.add(locate_hops)
+        self.request_hops.add(total_hops)
+
+    def observe_churn(self, kind: str) -> None:
+        """Count one resolved churn event."""
+        self.churn_events[kind] = self.churn_events.get(kind, 0) + 1
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of requests answered without any locate."""
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of requests that completed."""
+        return self.successes / self.requests if self.requests else 0.0
+
+    def load_balance(self) -> Dict[str, float]:
+        """Per-node load summary: mean, max and the max/mean imbalance.
+
+        An imbalance near 1 is the paper's "distributed evenly"; a
+        centralized name server shows imbalance near n.
+        """
+        if not self.node_load:
+            return {"nodes": self.universe_size, "mean": 0.0, "max": 0,
+                    "imbalance": 0.0}
+        loads = list(self.node_load.values())
+        # Nodes that received nothing still dilute the mean: a centralized
+        # name server on a 64-node network is imbalance ~64, not 1.
+        population = max(self.universe_size, len(loads))
+        mean = sum(loads) / population
+        peak = max(loads)
+        return {
+            "nodes": population,
+            "mean": round(mean, 3),
+            "max": peak,
+            "imbalance": round(peak / mean, 3) if mean else 0.0,
+        }
+
+    def hottest_nodes(self, limit: int = 5) -> List[Tuple[str, int]]:
+        """The ``limit`` most-loaded nodes as ``(repr(node), load)``."""
+        ranked = sorted(
+            ((repr(node), load) for node, load in self.node_load.items()),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return ranked[:limit]
+
+    def summary(self) -> Dict[str, object]:
+        """A deterministic, JSON-safe digest of the whole run.
+
+        Two runs of the same scenario spec produce byte-identical summaries;
+        the driver's wall-clock numbers deliberately live outside this dict.
+        """
+        return {
+            "requests": self.requests,
+            "successes": self.successes,
+            "failures": self.failures,
+            "success_rate": round(self.success_rate, 4),
+            "locates": self.locates,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "stale_retries": self.stale_retries,
+            "churn_events": dict(sorted(self.churn_events.items())),
+            "locate_hops": self.locate_hops.to_dict(),
+            "request_hops": self.request_hops.to_dict(),
+            "load": self.load_balance(),
+            "hottest_nodes": self.hottest_nodes(),
+        }
+
+
+def merge_node_load(
+    metrics: WorkloadMetrics, node_load: Dict[Hashable, int], baseline: Optional[Dict[Hashable, int]] = None
+) -> None:
+    """Install a run's per-node load (``end - baseline``) into ``metrics``."""
+    base = baseline or {}
+    for node, load in node_load.items():
+        delta = load - base.get(node, 0)
+        if delta:
+            metrics.node_load[node] = delta

@@ -1,0 +1,290 @@
+"""Declarative workload scenario specifications.
+
+A :class:`ScenarioSpec` describes one traffic experiment completely — the
+topology, the match-making strategy, the process population, the arrival
+process, the popularity model and the churn model — as plain data.  Specs
+round-trip through ``to_dict``/``from_dict`` so a recorded trace can embed
+the scenario it was captured under and a benchmark can persist exactly what
+it ran.
+
+The spec layer also owns the name-to-object resolvers ``build_topology`` and
+``build_strategy``, so scenarios can be written as strings (``"manhattan:8"``
++ ``"checkerboard"``) without importing half the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List
+
+from ..core.exceptions import StrategyError
+from ..core.strategy import MatchMakingStrategy
+from ..strategies import (
+    CubeConnectedCyclesStrategy,
+    HierarchicalGatewayStrategy,
+    HypercubeStrategy,
+    ManhattanStrategy,
+    ProjectivePlaneStrategy,
+    SubgraphDecompositionStrategy,
+    TreePathStrategy,
+    default_registry,
+)
+from ..topologies import (
+    CompleteTopology,
+    CubeConnectedCyclesTopology,
+    HierarchicalTopology,
+    HypercubeTopology,
+    ManhattanTopology,
+    ProjectivePlaneTopology,
+    RingTopology,
+    StarTopology,
+    Topology,
+    TreeTopology,
+    decompose,
+)
+
+#: Arrival process kinds.
+ARRIVAL_KINDS = ("closed", "poisson", "burst")
+#: Popularity model kinds.
+POPULARITY_KINDS = ("uniform", "zipf", "hotspot")
+#: Churn model kinds.
+CHURN_KINDS = ("none", "migration", "failover", "storm", "mixed")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """How request operations arrive over simulated time.
+
+    ``closed``
+        a closed loop of clients: each client issues its next request as soon
+        as the previous one completed, after ``think_time`` seconds;
+    ``poisson``
+        an open-loop Poisson stream at ``rate`` requests/second, each from a
+        uniformly random client;
+    ``burst``
+        bursts of ``burst_size`` back-to-back requests separated by
+        ``burst_gap`` idle seconds.
+    """
+
+    kind: str = "closed"
+    rate: float = 200.0
+    think_time: float = 0.0
+    burst_size: int = 50
+    burst_gap: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival kind {self.kind!r}; expected one of {ARRIVAL_KINDS}"
+            )
+        if self.rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if self.burst_size < 1:
+            raise ValueError("burst_size must be at least 1")
+        if self.think_time < 0 or self.burst_gap < 0:
+            raise ValueError("times must be non-negative")
+
+
+@dataclass(frozen=True)
+class PopularitySpec:
+    """How clients choose which service (port) each request targets.
+
+    ``uniform``
+        every port equally likely;
+    ``zipf``
+        port popularity follows a Zipf law with exponent ``zipf_exponent``
+        (rank 1 hottest);
+    ``hotspot``
+        one "hot" port receives ``hotspot_fraction`` of the traffic, and the
+        hot port moves to the next one every ``hotspot_interval`` simulated
+        seconds (a moving hotspot).
+    """
+
+    kind: str = "uniform"
+    zipf_exponent: float = 1.1
+    hotspot_fraction: float = 0.8
+    hotspot_interval: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in POPULARITY_KINDS:
+            raise ValueError(
+                f"unknown popularity kind {self.kind!r}; "
+                f"expected one of {POPULARITY_KINDS}"
+            )
+        if self.zipf_exponent <= 0:
+            raise ValueError("zipf_exponent must be positive")
+        if not 0.0 < self.hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be in (0, 1]")
+        if self.hotspot_interval <= 0:
+            raise ValueError("hotspot_interval must be positive")
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """How the server population and rendezvous state shift under load.
+
+    Events occur as a Poisson process at ``rate`` events per simulated
+    second.  ``migration`` moves a random server to a random node;
+    ``failover`` crashes a server-hosting node (killing its servers, which
+    are respawned elsewhere) and recovers it ``downtime`` seconds later;
+    ``storm`` wipes the posting caches of a ``storm_fraction`` sample of
+    nodes (servers then re-post); ``mixed`` draws uniformly among the three.
+    """
+
+    kind: str = "none"
+    rate: float = 0.0
+    downtime: float = 1.0
+    storm_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHURN_KINDS:
+            raise ValueError(
+                f"unknown churn kind {self.kind!r}; expected one of {CHURN_KINDS}"
+            )
+        if self.kind != "none" and self.rate <= 0:
+            raise ValueError("churn rate must be positive for active churn")
+        if self.downtime <= 0:
+            raise ValueError("downtime must be positive")
+        if not 0.0 < self.storm_fraction <= 1.0:
+            raise ValueError("storm_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, reproducible workload scenario."""
+
+    name: str = "scenario"
+    topology: str = "complete:64"
+    strategy: str = "checkerboard"
+    operations: int = 10_000
+    clients: int = 16
+    servers: int = 4
+    ports: int = 4
+    delivery_mode: str = "ideal"
+    seed: int = 0
+    max_retries: int = 3
+    #: When False every request runs a fresh locate (the client's private
+    #: address cache is bypassed) — useful for pure locate-throughput runs.
+    cache_addresses: bool = True
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    popularity: PopularitySpec = field(default_factory=PopularitySpec)
+    churn: ChurnSpec = field(default_factory=ChurnSpec)
+
+    def __post_init__(self) -> None:
+        if self.operations < 1:
+            raise ValueError("operations must be at least 1")
+        if self.clients < 1 or self.servers < 1 or self.ports < 1:
+            raise ValueError("clients, servers and ports must be at least 1")
+        if self.servers < self.ports:
+            raise ValueError(
+                "need at least one server per port "
+                f"(servers={self.servers}, ports={self.ports})"
+            )
+
+    def with_strategy(self, strategy: str, name: str = "") -> "ScenarioSpec":
+        """A copy of this spec running a different strategy."""
+        return replace(self, strategy=strategy, name=name or f"{self.name}:{strategy}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dictionary describing this scenario."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        payload = dict(data)
+        payload["arrival"] = ArrivalSpec(**payload.get("arrival", {}))
+        payload["popularity"] = PopularitySpec(**payload.get("popularity", {}))
+        payload["churn"] = ChurnSpec(**payload.get("churn", {}))
+        return cls(**payload)
+
+
+# -- name resolution ---------------------------------------------------------------
+
+def _int_args(spec: str, argument: str, expected: int) -> List[int]:
+    parts = argument.split("x") if argument else []
+    if len(parts) != expected:
+        raise ValueError(
+            f"topology spec {spec!r} needs {expected} integer argument(s)"
+        )
+    try:
+        return [int(part) for part in parts]
+    except ValueError:
+        raise ValueError(f"topology spec {spec!r} has non-integer arguments") from None
+
+
+def build_topology(spec: str) -> Topology:
+    """Instantiate a topology from a ``"family:args"`` string.
+
+    Supported: ``complete:n``, ``ring:n``, ``star:n``, ``manhattan:side``,
+    ``hypercube:d``, ``ccc:d``, ``projective:order``, ``hierarchy:bxl``
+    (branching x levels) and ``tree:bxd`` (branching x depth).
+    """
+    family, _, argument = spec.partition(":")
+    family = family.strip().lower()
+    if family == "complete":
+        return CompleteTopology(_int_args(spec, argument, 1)[0])
+    if family == "ring":
+        return RingTopology(_int_args(spec, argument, 1)[0])
+    if family == "star":
+        return StarTopology(_int_args(spec, argument, 1)[0])
+    if family == "manhattan":
+        return ManhattanTopology.square(_int_args(spec, argument, 1)[0])
+    if family == "hypercube":
+        return HypercubeTopology(_int_args(spec, argument, 1)[0])
+    if family == "ccc":
+        return CubeConnectedCyclesTopology(_int_args(spec, argument, 1)[0])
+    if family == "projective":
+        return ProjectivePlaneTopology(_int_args(spec, argument, 1)[0])
+    if family == "hierarchy":
+        branching, levels = _int_args(spec, argument, 2)
+        return HierarchicalTopology.uniform(branching, levels)
+    if family == "tree":
+        branching, depth = _int_args(spec, argument, 2)
+        return TreeTopology.balanced(branching, depth)
+    raise ValueError(f"unknown topology family {family!r} in {spec!r}")
+
+
+#: Topology-specific strategies: name -> (required topology class, factory).
+_TOPOLOGY_STRATEGIES = {
+    "manhattan": (ManhattanTopology, ManhattanStrategy),
+    "hypercube": (HypercubeTopology, HypercubeStrategy),
+    "ccc": (CubeConnectedCyclesTopology, CubeConnectedCyclesStrategy),
+    "projective": (ProjectivePlaneTopology, ProjectivePlaneStrategy),
+    "hierarchy": (HierarchicalTopology, HierarchicalGatewayStrategy),
+    "tree": (TreeTopology, TreePathStrategy),
+}
+
+
+def strategy_names() -> List[str]:
+    """Every strategy name :func:`build_strategy` accepts."""
+    return sorted(
+        set(default_registry().names()) | set(_TOPOLOGY_STRATEGIES) | {"subgraph"}
+    )
+
+
+def build_strategy(name: str, topology: Topology) -> MatchMakingStrategy:
+    """Instantiate a strategy by name for ``topology``.
+
+    Universe-based strategies come from the default registry; the
+    topology-specific section-3 strategies require a matching topology and
+    ``"subgraph"`` works on any connected graph via the O(sqrt n)
+    decomposition.
+    """
+    name = name.strip().lower()
+    if name in _TOPOLOGY_STRATEGIES:
+        required, factory = _TOPOLOGY_STRATEGIES[name]
+        if not isinstance(topology, required):
+            raise StrategyError(
+                f"strategy {name!r} requires a {required.__name__}, "
+                f"got {type(topology).__name__}"
+            )
+        return factory(topology)
+    if name == "subgraph":
+        return SubgraphDecompositionStrategy(decompose(topology.graph))
+    registry = default_registry()
+    if name not in registry.names():
+        raise StrategyError(
+            f"unknown strategy {name!r}; known: {', '.join(strategy_names())}"
+        )
+    return registry.create(name, topology.nodes())

@@ -1,0 +1,136 @@
+"""Trace record/replay: a workload run as a byte-reproducible artifact.
+
+A :class:`Trace` is the fully-resolved operation stream of one run — every
+request and every concrete churn action, in execution order, with all
+targets reduced to integer indices (client #, port #, node #, server slot #)
+so the stream serializes to JSON lines regardless of node-id types (grid
+tuples, bit strings, ...).
+
+Replaying a trace through the driver executes exactly the recorded
+operations against a freshly built system and must reproduce the original
+metrics exactly; recording a run and shipping the ``.jsonl`` file is how a
+surprising result travels between machines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, IO, Iterator, List, Optional, Sequence, Tuple
+
+#: Trace operation kinds.
+REQUEST = "request"    # args: (client_index, port_index)
+MIGRATE = "migrate"    # args: (server_slot, target_node_index)
+CRASH = "crash"        # args: (node_index,)
+RECOVER = "recover"    # args: (node_index,)
+RESPAWN = "respawn"    # args: (server_slot, target_node_index)
+STORM = "storm"        # args: (node_index, node_index, ...)
+
+OP_KINDS = (REQUEST, MIGRATE, CRASH, RECOVER, RESPAWN, STORM)
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One fully-resolved operation of a workload run."""
+
+    kind: str
+    time: float
+    args: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise ValueError(
+                f"unknown trace op kind {self.kind!r}; expected one of {OP_KINDS}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe representation."""
+        return {"op": self.kind, "t": self.time, "args": list(self.args)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceOp":
+        """Rebuild an op from :meth:`to_dict` output."""
+        return cls(
+            kind=str(data["op"]),
+            time=float(data["t"]),
+            args=tuple(int(a) for a in data["args"]),  # type: ignore[union-attr]
+        )
+
+
+class Trace:
+    """An ordered operation stream plus the scenario it was captured under."""
+
+    def __init__(
+        self,
+        scenario: Dict[str, object],
+        ops: Optional[Sequence[TraceOp]] = None,
+    ) -> None:
+        self._scenario = dict(scenario)
+        self._ops: List[TraceOp] = list(ops) if ops else []
+
+    @property
+    def scenario(self) -> Dict[str, object]:
+        """The ``ScenarioSpec.to_dict()`` this trace was recorded under."""
+        return dict(self._scenario)
+
+    @property
+    def ops(self) -> List[TraceOp]:
+        """The recorded operations, in execution order."""
+        return list(self._ops)
+
+    def append(self, op: TraceOp) -> None:
+        """Record one executed operation."""
+        self._ops.append(op)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[TraceOp]:
+        return iter(self._ops)
+
+    def operation_counts(self) -> Dict[str, int]:
+        """How many ops of each kind the trace holds."""
+        counts: Dict[str, int] = {}
+        for op in self._ops:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        return counts
+
+    # -- serialization -------------------------------------------------------
+
+    def dump(self, fp: IO[str]) -> None:
+        """Write JSON lines: a header with the scenario, then one op per
+        line."""
+        fp.write(json.dumps({"scenario": self._scenario}, sort_keys=True) + "\n")
+        for op in self._ops:
+            fp.write(json.dumps(op.to_dict(), sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, fp: IO[str]) -> "Trace":
+        """Read a trace written by :meth:`dump`."""
+        header_line = fp.readline()
+        if not header_line.strip():
+            raise ValueError("empty trace stream")
+        header = json.loads(header_line)
+        if "scenario" not in header:
+            raise ValueError("trace stream is missing the scenario header")
+        trace = cls(scenario=header["scenario"])
+        for line in fp:
+            if line.strip():
+                trace.append(TraceOp.from_dict(json.loads(line)))
+        return trace
+
+    def to_path(self, path) -> None:
+        """Write the trace to ``path`` as JSON lines."""
+        with open(path, "w", encoding="utf-8") as fp:
+            self.dump(fp)
+
+    @classmethod
+    def from_path(cls, path) -> "Trace":
+        """Read a trace file written by :meth:`to_path`."""
+        with open(path, "r", encoding="utf-8") as fp:
+            return cls.load(fp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Trace(scenario={self._scenario.get('name')!r}, ops={len(self._ops)})"
+        )
