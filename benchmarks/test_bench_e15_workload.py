@@ -181,8 +181,10 @@ def test_bench_e15_workload(benchmark, record):
     assert memo["strategy_calls_unmemoized"] == memo["locates"] + 1
     assert memo["strategy_calls_memoized"] == 64 + 1
 
-    # -- persist the perf trajectory -----------------------------------------
-    payload = {
+    # -- persist the perf trajectory (merge: other experiments own their
+    # own top-level sections of the same file) -------------------------------
+    payload = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
+    payload.update({
         "experiment": "e15-workload",
         "scenario": scale_spec().to_dict(),
         "strategies": {
@@ -204,7 +206,7 @@ def test_bench_e15_workload(benchmark, record):
             "churn_events": soak.metrics.churn_events,
         },
         "memoization": memo,
-    }
+    })
     BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     record(

@@ -172,14 +172,23 @@ class MatchMaker:
 
     def deregister_server(self, registration: ServerRegistration) -> None:
         """Withdraw a server's postings (the server stops offering the
-        service)."""
-        self._network.unpost(
-            registration.node,
-            registration.port,
-            registration.posted_at,
-            server_id=registration.server_id,
-            mode=self._mode,
-        )
+        service).
+
+        When the server's node is down the unpost is skipped instead of
+        raising: nothing can originate from a dead node, and any posting
+        left behind is superseded by fresher timestamps (section 2.1,
+        assumption 3).  This mirrors
+        :meth:`~repro.processes.system.DistributedSystem.migrate_server`'s
+        guard and makes deregister/migrate safe during fault churn.
+        """
+        if self._network.node_is_up(registration.node):
+            self._network.unpost(
+                registration.node,
+                registration.port,
+                registration.posted_at,
+                server_id=registration.server_id,
+                mode=self._mode,
+            )
         self._registrations.pop(registration.server_id, None)
 
     def migrate_server(

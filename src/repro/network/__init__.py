@@ -8,6 +8,7 @@ logical clock, and fault injection.
 
 from .broadcast import DeliveryOutcome, flood, multicast, unicast
 from .cache import BoundedCache, ExpiringCache, NodeCache
+from .delivery import DeliveryPlanner
 from .events import EventLoop
 from .faults import FaultPlan, max_tolerated_faults, random_fault_plan, surviving_graph
 from .graph import Graph, complete_graph
@@ -28,6 +29,7 @@ __all__ = [
     "BoundedCache",
     "CONTROL",
     "DeliveryOutcome",
+    "DeliveryPlanner",
     "EventLoop",
     "ExpiringCache",
     "FaultPlan",

@@ -20,7 +20,7 @@ both the reached set and the exact hop count for three delivery modes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Hashable, Iterable, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Sequence, Set, Tuple
 
 from ..core.exceptions import UnknownNodeError
 from .faults import FaultPlan, surviving_graph
@@ -54,15 +54,31 @@ def unicast(
     source: Hashable,
     destinations: Iterable[Hashable],
     faults: Optional[FaultPlan] = None,
+    surviving_table: Optional[RoutingTable] = None,
 ) -> DeliveryOutcome:
-    """Deliver one message per destination along shortest surviving paths."""
+    """Deliver one message per destination along shortest surviving paths.
+
+    ``surviving_table``, when given, must be a routing table over the
+    surviving subgraph of ``faults``; it is used (together with its graph)
+    instead of rebuilding both from scratch.
+    :meth:`~repro.network.delivery.DeliveryPlanner._plan_unicast` passes
+    its shared per-fault-revision table here; callers that omit it pay a
+    surviving-graph plus table construction per call.
+    """
     if source not in graph:
         raise UnknownNodeError(source)
-    effective = _effective_graph(graph, faults)
     if faults is not None and not faults.node_is_up(source):
         targets = frozenset(d for d in destinations if d != source)
         return DeliveryOutcome(frozenset(), 0, targets)
-    live_table = table if effective is graph else RoutingTable(effective)
+    if faults is None or faults.fault_count == 0:
+        effective = graph
+        live_table = table
+    elif surviving_table is not None:
+        effective = surviving_table.graph
+        live_table = surviving_table
+    else:
+        effective = surviving_graph(graph, faults)
+        live_table = RoutingTable(effective)
     reached: Set[Hashable] = set()
     unreachable: Set[Hashable] = set()
     hops = 0
@@ -85,17 +101,26 @@ def multicast(
     source: Hashable,
     destinations: Iterable[Hashable],
     faults: Optional[FaultPlan] = None,
+    parent: Optional[Dict[Hashable, Hashable]] = None,
 ) -> DeliveryOutcome:
-    """Deliver along a BFS tree; cost = number of distinct tree edges used."""
+    """Deliver along a BFS tree; cost = number of distinct tree edges used.
+
+    ``parent``, when given, must be the BFS spanning tree of ``source`` in
+    the surviving subgraph of ``faults`` (empty when the source is cut
+    off).  :meth:`~repro.network.delivery.DeliveryPlanner._plan_multicast`
+    passes its memoized per-fault-revision tree here; callers that omit it
+    pay a surviving-graph build plus a BFS per call.
+    """
     if source not in graph:
         raise UnknownNodeError(source)
-    effective = _effective_graph(graph, faults)
     targets = {d for d in destinations}
     if faults is not None and not faults.node_is_up(source):
         return DeliveryOutcome(frozenset(), 0, frozenset(targets - {source}))
-    if source not in effective:
+    if parent is None:
+        effective = _effective_graph(graph, faults)
+        parent = effective.spanning_tree(source) if source in effective else {}
+    if source not in parent:
         return DeliveryOutcome(frozenset(), 0, frozenset(targets - {source}))
-    parent = effective.spanning_tree(source)
     reached: Set[Hashable] = set()
     unreachable: Set[Hashable] = set()
     edges: Set[FrozenSet[Hashable]] = set()

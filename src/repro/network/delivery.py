@@ -1,0 +1,245 @@
+"""Fault-aware delivery planning.
+
+The paper's whole argument is about counting message passes, so the
+simulator must not spend :math:`O(n^2)` *Python* work to account for a
+single message.  Historically it did exactly that under faults: every
+``unicast`` call rebuilt a :class:`~repro.network.routing.RoutingTable`
+over the surviving subgraph, and every ``multicast`` re-ran a BFS to get
+its spanning tree.  :class:`DeliveryPlanner` centralises all of that
+routing work and keys it on the :class:`~repro.network.faults.FaultPlan`
+revision counter, so the cost of planning is paid once per *fault
+revision*, not once per *message*:
+
+``routing_table()``
+    the single shared :class:`RoutingTable` over the surviving subgraph
+    (the fault-free table when no faults are active);
+``spanning_tree(source)``
+    the memoized BFS tree used by multicast, one per ``(source,
+    revision)``;
+``plan(source, targets, mode)``
+    a fully memoized :class:`~repro.network.broadcast.DeliveryOutcome`
+    per ``(source, frozenset(targets), mode, revision)``.  Because the
+    match-maker's P/Q sets are themselves memoized frozensets, a
+    steady-state workload hits this cache with O(1) dict lookups per
+    post/query — no graph traversal at all.
+
+Cache effectiveness is observable: every hit/miss is recorded as a plan
+event on the owning network's :class:`~repro.network.stats.MessageStats`
+(``plan_hit``/``plan_miss``, ``tree_hit``/``tree_miss``,
+``route_hit``/``route_miss``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Hashable, Optional, Tuple
+
+from ..core.exceptions import UnknownNodeError
+from .broadcast import DeliveryOutcome, multicast, unicast
+from .faults import FaultPlan, surviving_graph
+from .graph import Graph
+from .routing import RoutingTable
+from .stats import MessageStats
+
+#: Plan-event keys recorded on :class:`MessageStats`.
+PLAN_HIT = "plan_hit"
+PLAN_MISS = "plan_miss"
+TREE_HIT = "tree_hit"
+TREE_MISS = "tree_miss"
+ROUTE_HIT = "route_hit"
+ROUTE_MISS = "route_miss"
+
+
+class DeliveryPlanner:
+    """Single source of routing truth for a :class:`~repro.network.Network`.
+
+    Parameters
+    ----------
+    graph:
+        The full (fault-free) communication graph.  Assumed static.
+    routing:
+        The network's fault-free routing table (shared, never rebuilt).
+    faults:
+        The network's fault plan; its ``revision`` counter keys every
+        cache in this planner.
+    stats:
+        Where plan-cache hit/miss events are recorded.
+    node_is_up:
+        Liveness oracle for ``ideal``-mode plans (the network's
+        :meth:`~repro.network.Network.node_is_up`, which also covers the
+        node object's own liveness flag).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        routing: RoutingTable,
+        faults: FaultPlan,
+        stats: MessageStats,
+        node_is_up: Callable[[Hashable], bool],
+    ) -> None:
+        self._graph = graph
+        self._routing = routing
+        self._faults = faults
+        self._stats = stats
+        self._node_is_up = node_is_up
+        self._revision = faults.revision
+        self._surviving_graph: Optional[Graph] = None
+        self._surviving_table: Optional[RoutingTable] = None
+        self._trees: Dict[Hashable, Dict[Hashable, Hashable]] = {}
+        self._plans: Dict[
+            Tuple[Hashable, FrozenSet[Hashable], str], DeliveryOutcome
+        ] = {}
+
+    # -- revision tracking ---------------------------------------------------
+
+    def _sync(self) -> None:
+        """Drop every cache when the fault plan has moved on.
+
+        Revisions are monotonic, so entries keyed under an older revision
+        can never be served again — pruning keeps memory bounded by the
+        traffic diversity of the *current* fault epoch.
+        """
+        revision = self._faults.revision
+        if revision != self._revision:
+            self._revision = revision
+            self._surviving_graph = None
+            self._surviving_table = None
+            self._trees.clear()
+            self._plans.clear()
+
+    @property
+    def revision(self) -> int:
+        """The fault-plan revision the current caches are valid for."""
+        return self._revision
+
+    def cache_info(self) -> Dict[str, int]:
+        """Sizes of the plan caches (hit/miss counters live on stats)."""
+        self._sync()
+        return {
+            "plans": len(self._plans),
+            "trees": len(self._trees),
+            "revision": self._revision,
+        }
+
+    # -- shared routing state ------------------------------------------------
+
+    def effective_graph(self) -> Graph:
+        """The surviving subgraph (the full graph when fault-free)."""
+        self._sync()
+        if self._faults.fault_count == 0:
+            return self._graph
+        if self._surviving_graph is None:
+            self._surviving_graph = surviving_graph(self._graph, self._faults)
+        return self._surviving_graph
+
+    def routing_table(self) -> RoutingTable:
+        """The shared routing table over the surviving subgraph.
+
+        This is the table ``unicast`` delivery, reply routing and payload
+        routing all share; it is rebuilt at most once per fault revision
+        — the headline fix over rebuilding one per message.  Route events
+        are only recorded under active faults: the fault-free fast path
+        serves the network's static table, which is not a cache.
+        """
+        self._sync()
+        if self._faults.fault_count == 0:
+            return self._routing
+        if self._surviving_table is None:
+            self._stats.record_plan_event(ROUTE_MISS)
+            self._surviving_table = RoutingTable(self.effective_graph())
+        else:
+            self._stats.record_plan_event(ROUTE_HIT)
+        return self._surviving_table
+
+    def spanning_tree(self, source: Hashable) -> Dict[Hashable, Hashable]:
+        """The memoized BFS parent tree rooted at ``source``.
+
+        Empty when ``source`` is not in the surviving subgraph.
+        """
+        self._sync()
+        tree = self._trees.get(source)
+        if tree is None:
+            self._stats.record_plan_event(TREE_MISS)
+            effective = self.effective_graph()
+            tree = (
+                effective.spanning_tree(source) if source in effective else {}
+            )
+            self._trees[source] = tree
+        else:
+            self._stats.record_plan_event(TREE_HIT)
+        return tree
+
+    # -- full delivery plans -------------------------------------------------
+
+    def plan(
+        self,
+        source: Hashable,
+        targets: FrozenSet[Hashable],
+        mode: str,
+    ) -> DeliveryOutcome:
+        """The delivery outcome for ``source -> targets`` under ``mode``.
+
+        The returned :class:`DeliveryOutcome` is immutable and shared
+        between calls; callers must not assume a fresh object.  The
+        caller is responsible for having verified that ``source`` is up.
+        """
+        self._sync()
+        key = (source, targets, mode)
+        cached = self._plans.get(key)
+        if cached is not None:
+            self._stats.record_plan_event(PLAN_HIT)
+            return cached
+        self._stats.record_plan_event(PLAN_MISS)
+        if mode == "ideal":
+            outcome = self._plan_ideal(source, targets)
+        elif mode == "unicast":
+            outcome = self._plan_unicast(source, targets)
+        elif mode == "multicast":
+            outcome = self._plan_multicast(source, targets)
+        else:
+            raise ValueError(f"unknown delivery mode {mode!r}")
+        self._plans[key] = outcome
+        return outcome
+
+    def _plan_ideal(
+        self, source: Hashable, targets: FrozenSet[Hashable]
+    ) -> DeliveryOutcome:
+        reached = set()
+        unreachable = set()
+        hops = 0
+        for destination in targets:
+            if destination not in self._graph:
+                raise UnknownNodeError(destination)
+            if destination == source:
+                reached.add(destination)
+            elif self._node_is_up(destination):
+                reached.add(destination)
+                hops += 1
+            else:
+                unreachable.add(destination)
+        return DeliveryOutcome(frozenset(reached), hops, frozenset(unreachable))
+
+    def _plan_unicast(
+        self, source: Hashable, targets: FrozenSet[Hashable]
+    ) -> DeliveryOutcome:
+        if self._faults.fault_count == 0:
+            return unicast(self._graph, self._routing, source, targets)
+        return unicast(
+            self._graph,
+            self._routing,
+            source,
+            targets,
+            self._faults,
+            surviving_table=self.routing_table(),
+        )
+
+    def _plan_multicast(
+        self, source: Hashable, targets: FrozenSet[Hashable]
+    ) -> DeliveryOutcome:
+        return multicast(
+            self._graph,
+            source,
+            targets,
+            self._faults if self._faults.fault_count else None,
+            parent=self.spanning_tree(source),
+        )

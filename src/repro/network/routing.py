@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Dict, Hashable, List, Optional, Sequence
+from types import MappingProxyType
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence
 
 from ..core.exceptions import NoRouteError, UnknownNodeError
 from .graph import Graph
@@ -85,6 +86,18 @@ class RoutingTable:
                 raise UnknownNodeError(destination)
             raise NoRouteError(source, destination)
         return dist[destination]
+
+    def distance_map(self, source: Hashable) -> Mapping[Hashable, int]:
+        """The full distance table from ``source``.
+
+        A read-only view of the reachable set: ``destination in map`` iff a
+        route exists, ``map[destination]`` is the hop distance.  Bulk
+        consumers (the delivery planner) use this to plan a whole target
+        set with one dict lookup per destination instead of one
+        exception-guarded :meth:`distance` call each.
+        """
+        _, dist = self._tables_for(source)
+        return MappingProxyType(dist)
 
     def has_route(self, source: Hashable, destination: Hashable) -> bool:
         """Whether a route exists."""

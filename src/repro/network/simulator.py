@@ -30,8 +30,9 @@ from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
 from ..core.exceptions import NodeDownError, UnknownNodeError
 from ..core.types import Address, Port, PostRecord
-from .broadcast import DeliveryOutcome, flood, multicast, unicast
+from .broadcast import DeliveryOutcome, flood
 from .cache import NodeCache
+from .delivery import DeliveryPlanner
 from .events import EventLoop
 from .faults import FaultPlan
 from .graph import Graph
@@ -102,10 +103,16 @@ class Network:
         }
         self._routing = RoutingTable(self._graph)
         self._faults = FaultPlan()
-        # Routing over the surviving subgraph, rebuilt only when the fault
-        # plan actually changes (keyed by its revision counter).
-        self._surviving_routing_cache: Optional[Tuple[int, RoutingTable]] = None
         self._stats = MessageStats()
+        # All routing/planning work for every delivery mode goes through the
+        # planner, which memoizes per fault-plan revision.
+        self._planner = DeliveryPlanner(
+            self._graph,
+            self._routing,
+            self._faults,
+            self._stats,
+            self.node_is_up,
+        )
         self._clock = EventLoop()
         self._rng = random.Random(seed)
         self._timestamps = itertools.count(1)
@@ -121,6 +128,12 @@ class Network:
     def routing(self) -> RoutingTable:
         """Routing tables over the fault-free graph."""
         return self._routing
+
+    @property
+    def planner(self) -> DeliveryPlanner:
+        """The fault-aware delivery planner (single source of routing
+        truth)."""
+        return self._planner
 
     @property
     def stats(self) -> MessageStats:
@@ -208,14 +221,7 @@ class Network:
 
     def _surviving_routing(self) -> RoutingTable:
         """Routing tables honouring the current fault plan (cached)."""
-        faults = self._active_faults()
-        if faults is None:
-            return self._routing
-        cache = self._surviving_routing_cache
-        if cache is None or cache[0] != faults.revision:
-            cache = (faults.revision, RoutingTable(_surviving(self._graph, faults)))
-            self._surviving_routing_cache = cache
-        return cache[1]
+        return self._planner.routing_table()
 
     def deliver(
         self,
@@ -235,32 +241,24 @@ class Network:
         if not self.node_is_up(source):
             raise NodeDownError(source)
         mode = mode or self._delivery_mode
-        destinations = list(destinations)
-        faults = self._active_faults()
-
-        if mode == "ideal":
-            reached = set()
-            unreachable = set()
-            hops = 0
-            for destination in destinations:
-                if destination not in self._graph:
-                    raise UnknownNodeError(destination)
-                if destination == source:
-                    reached.add(destination)
-                elif self.node_is_up(destination):
-                    reached.add(destination)
-                    hops += 1
-                else:
-                    unreachable.add(destination)
-            outcome = DeliveryOutcome(
-                frozenset(reached), hops, frozenset(unreachable)
-            )
-        elif mode == "unicast":
-            outcome = unicast(self._graph, self._routing, source, destinations, faults)
-        elif mode == "multicast":
-            outcome = multicast(self._graph, source, destinations, faults)
-        else:  # pragma: no cover - guarded in constructor and here
+        if mode not in DELIVERY_MODES:  # pragma: no cover - guarded in ctor
             raise ValueError(f"unknown delivery mode {mode!r}")
+        if isinstance(destinations, frozenset):
+            # The hot path: the match-maker's memoized P/Q sets arrive as
+            # frozensets, so the planner key needs no copying at all.
+            targets = destinations
+            message_count = len(destinations)
+            outcome = self._planner.plan(source, targets, mode)
+        else:
+            destinations = list(destinations)
+            message_count = len(destinations)
+            targets = frozenset(destinations)
+            if len(targets) == len(destinations):
+                outcome = self._planner.plan(source, targets, mode)
+            else:
+                # Duplicate destinations: charge each occurrence, exactly as
+                # per-message delivery would (plans dedup, so bypass them).
+                outcome = self._deliver_with_duplicates(source, destinations, mode)
 
         # Drop destinations whose node object crashed without a fault-plan
         # entry (defensive; crash_node keeps them in sync).
@@ -271,9 +269,49 @@ class Network:
             outcome = DeliveryOutcome(
                 outcome.reached - dead, outcome.hops, outcome.unreachable | dead
             )
-        self._stats.record(category, outcome.hops, message_count=len(destinations))
+        self._stats.record(category, outcome.hops, message_count=message_count)
         self._stats.record_load(outcome.reached)
         return outcome
+
+    def _deliver_with_duplicates(
+        self, source: Hashable, destinations: List[Hashable], mode: str
+    ) -> DeliveryOutcome:
+        """Per-occurrence delivery for destination lists with duplicates.
+
+        ``multicast`` has set semantics anyway; ``ideal`` and ``unicast``
+        charge every occurrence its own hops.  Routing still comes from the
+        planner's shared tables — nothing is rebuilt per message.
+        """
+        if mode == "multicast":
+            return self._planner.plan(source, frozenset(destinations), mode)
+        distances = (
+            self._planner.routing_table().distance_map(source)
+            if mode == "unicast"
+            else None
+        )
+        reached = set()
+        unreachable = set()
+        hops = 0
+        for destination in destinations:
+            if destination == source:
+                reached.add(destination)
+                continue
+            if mode == "ideal":
+                if destination not in self._graph:
+                    raise UnknownNodeError(destination)
+                if self.node_is_up(destination):
+                    reached.add(destination)
+                    hops += 1
+                else:
+                    unreachable.add(destination)
+            else:
+                distance = distances.get(destination)
+                if distance is None:
+                    unreachable.add(destination)
+                else:
+                    hops += distance
+                    reached.add(destination)
+        return DeliveryOutcome(frozenset(reached), hops, frozenset(unreachable))
 
     def broadcast(self, source: Hashable, category: str) -> DeliveryOutcome:
         """Flood the whole (surviving) network from ``source``."""
@@ -339,7 +377,6 @@ class Network:
         has a matching record sends one reply routed back to the client (one
         hop in ``ideal`` mode, shortest-path distance otherwise).
         """
-        targets = list(targets)
         outcome = self.deliver(client_node, targets, QUERY, mode=mode)
         records: List[PostRecord] = []
         responders: List[Hashable] = []
@@ -348,28 +385,25 @@ class Network:
         reply_table = self._surviving_routing() if mode != "ideal" else None
         for target in outcome.reached:
             node = self._nodes[target]
-            found = (
-                node.answer_query_all(port) if collect_all else
-                ([node.answer_query(port)] if node.answer_query(port) else [])
-            )
+            if collect_all:
+                found = node.answer_query_all(port)
+            else:
+                record = node.answer_query(port)
+                found = [record] if record else []
             if not found:
                 continue
-            records.extend(found)
-            responders.append(target)
-            if target == client_node:
-                continue
-            if mode == "ideal":
-                reply_hops += 1
-            else:
-                if reply_table.has_route(target, client_node):
+            if target != client_node:
+                if mode == "ideal":
+                    reply_hops += 1
+                elif reply_table.has_route(target, client_node):
                     reply_hops += reply_table.distance(target, client_node)
                 else:
-                    # The reply cannot come back; drop the records from this
-                    # responder.
-                    for record in node.answer_query_all(port) if collect_all else found:
-                        if record in records:
-                            records.remove(record)
-                    responders.remove(target)
+                    # The reply cannot come back; this responder contributes
+                    # nothing (its records stay out — other responders may
+                    # hold equal records, which must survive).
+                    continue
+            records.extend(found)
+            responders.append(target)
         self._stats.record(REPLY, reply_hops, message_count=len(responders))
         return QueryOutcome(
             records=tuple(records),
@@ -413,9 +447,3 @@ class Network:
             f"Network(n={self.size}, mode={self._delivery_mode!r}, "
             f"hops={self._stats.total_hops})"
         )
-
-
-def _surviving(graph: Graph, faults: FaultPlan) -> Graph:
-    from .faults import surviving_graph
-
-    return surviving_graph(graph, faults)

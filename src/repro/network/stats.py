@@ -27,11 +27,18 @@ class MessageStats:
     ``node_load`` additionally counts, per node, how many delivered messages
     addressed that node — the operational form of the paper's load-balance
     concern ("the function of name server is distributed evenly").
+
+    ``plan_events`` counts delivery-planner cache activity (``plan_hit``,
+    ``plan_miss``, ``tree_hit``, ``tree_miss``, ``route_hit``,
+    ``route_miss``).  These are accounting events about the *simulator's*
+    work, not simulated traffic: they are excluded from hop/message
+    totals and from workload summaries.
     """
 
     hops: Dict[str, int] = field(default_factory=dict)
     messages: Dict[str, int] = field(default_factory=dict)
     node_load: Dict[Hashable, int] = field(default_factory=dict)
+    plan_events: Dict[str, int] = field(default_factory=dict)
 
     def record(self, category: str, hop_count: int, message_count: int = 1) -> None:
         """Charge ``hop_count`` hops and ``message_count`` messages to
@@ -46,6 +53,14 @@ class MessageStats:
         for node in nodes:
             self.node_load[node] = self.node_load.get(node, 0) + 1
 
+    def record_plan_event(self, kind: str, count: int = 1) -> None:
+        """Count ``count`` delivery-planner cache events of ``kind``."""
+        self.plan_events[kind] = self.plan_events.get(kind, 0) + count
+
+    def plan_events_for(self, kind: str) -> int:
+        """Planner cache events of ``kind`` recorded so far."""
+        return self.plan_events.get(kind, 0)
+
     def load_for(self, node: Hashable) -> int:
         """Delivered messages that addressed ``node``."""
         return self.node_load.get(node, 0)
@@ -58,6 +73,8 @@ class MessageStats:
             self.messages[category] = self.messages.get(category, 0) + count
         for node, count in other.node_load.items():
             self.node_load[node] = self.node_load.get(node, 0) + count
+        for kind, count in other.plan_events.items():
+            self.plan_events[kind] = self.plan_events.get(kind, 0) + count
 
     def hops_for(self, category: str) -> int:
         """Hops charged to ``category``."""
@@ -91,6 +108,7 @@ class MessageStats:
             hops=dict(self.hops),
             messages=dict(self.messages),
             node_load=dict(self.node_load),
+            plan_events=dict(self.plan_events),
         )
 
     def diff(self, earlier: "MessageStats") -> "MessageStats":
@@ -107,10 +125,15 @@ class MessageStats:
             node: count - earlier.node_load.get(node, 0)
             for node, count in self.node_load.items()
         }
+        plan_events = {
+            kind: count - earlier.plan_events.get(kind, 0)
+            for kind, count in self.plan_events.items()
+        }
         return MessageStats(
             hops={k: v for k, v in hops.items() if v},
             messages={k: v for k, v in messages.items() if v},
             node_load={k: v for k, v in node_load.items() if v},
+            plan_events={k: v for k, v in plan_events.items() if v},
         )
 
     def items(self) -> Iterator[Tuple[str, int]]:
@@ -122,3 +145,4 @@ class MessageStats:
         self.hops.clear()
         self.messages.clear()
         self.node_load.clear()
+        self.plan_events.clear()

@@ -288,10 +288,13 @@ class DistributedSystem:
         locates = 0
         retries = 0
         used_cache = False
+        # A cached address only *counts* as a hit once it is validated: the
+        # request must complete without any locate.  Counting here would
+        # inflate per-client stats relative to WorkloadMetrics.cache_hits
+        # (which requires ``locates == 0``) whenever the address is stale.
         address = client.cached_address(port)
         if address is not None:
             used_cache = True
-            client.stats.cache_hits += 1
 
         for attempt in range(self._max_retries + 1):
             if address is None:
@@ -335,6 +338,7 @@ class DistributedSystem:
                 retries += 1
                 if attempt == self._max_retries:
                     self._record_failure(client)
+                    self._count_cache_hit(client, used_cache, locates)
                     return RequestOutcome(
                         ok=False,
                         locates=locates,
@@ -345,6 +349,7 @@ class DistributedSystem:
                 continue
 
             self._stats.successful_requests += 1
+            self._count_cache_hit(client, used_cache, locates)
             return RequestOutcome(
                 ok=True,
                 reply=reply,
@@ -355,6 +360,7 @@ class DistributedSystem:
             )
 
         self._record_failure(client)
+        self._count_cache_hit(client, used_cache, locates)
         return RequestOutcome(
             ok=False,
             locates=locates,
@@ -392,3 +398,14 @@ class DistributedSystem:
 
     def _record_failure(self, client: ClientProcess) -> None:
         client.stats.failures += 1
+
+    @staticmethod
+    def _count_cache_hit(
+        client: ClientProcess, used_cache: bool, locates: int
+    ) -> None:
+        """Count a validated cache hit, with the exact predicate
+        :meth:`~repro.workload.metrics.WorkloadMetrics.observe_request`
+        uses (``from_cache and locates == 0``), so per-client counters sum
+        to the workload-level counter."""
+        if used_cache and locates == 0:
+            client.stats.cache_hits += 1

@@ -26,7 +26,7 @@ from __future__ import annotations
 import heapq
 import random
 import time as _time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Sequence, Tuple
 
 from ..core.types import Port
@@ -50,6 +50,12 @@ class WorkloadResult:
     metrics: WorkloadMetrics
     trace: Trace
     wall_seconds: float
+    #: Delivery-planner cache events over the measured run (plan/tree/route
+    #: hit-miss counters from :class:`~repro.network.stats.MessageStats`,
+    #: baselined past system construction just like per-node load).
+    #: Deterministic — a replay reproduces the exact same counts — but kept
+    #: out of :meth:`summary` so summaries compare across planner versions.
+    plan_cache: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ops_per_second(self) -> float:
@@ -303,6 +309,7 @@ class WorkloadDriver:
         trace = Trace(spec.to_dict())
         metrics = WorkloadMetrics(universe_size=len(self._nodes))
         load_baseline = dict(state.network.stats.node_load)
+        plan_baseline = dict(state.network.stats.plan_events)
         pending_recoveries: List[Tuple[float, int]] = []
         churn_cursor = 0
         started = _time.perf_counter()
@@ -348,7 +355,11 @@ class WorkloadDriver:
         wall = _time.perf_counter() - started
         merge_node_load(metrics, state.network.stats.node_load, load_baseline)
         return WorkloadResult(
-            spec=spec, metrics=metrics, trace=trace, wall_seconds=wall
+            spec=spec,
+            metrics=metrics,
+            trace=trace,
+            wall_seconds=wall,
+            plan_cache=_plan_cache_delta(state, plan_baseline),
         )
 
     def replay(self, trace: Trace) -> WorkloadResult:
@@ -357,14 +368,30 @@ class WorkloadDriver:
         state = self._build_state()
         metrics = WorkloadMetrics(universe_size=len(self._nodes))
         load_baseline = dict(state.network.stats.node_load)
+        plan_baseline = dict(state.network.stats.plan_events)
         started = _time.perf_counter()
         for op in trace:
             self._exec_op(state, metrics, op)
         wall = _time.perf_counter() - started
         merge_node_load(metrics, state.network.stats.node_load, load_baseline)
         return WorkloadResult(
-            spec=self.spec, metrics=metrics, trace=trace, wall_seconds=wall
+            spec=self.spec,
+            metrics=metrics,
+            trace=trace,
+            wall_seconds=wall,
+            plan_cache=_plan_cache_delta(state, plan_baseline),
         )
+
+
+def _plan_cache_delta(
+    state: _RunState, baseline: Dict[str, int]
+) -> Dict[str, int]:
+    """Planner cache events accumulated since ``baseline`` was taken."""
+    return {
+        kind: count - baseline.get(kind, 0)
+        for kind, count in state.network.stats.plan_events.items()
+        if count - baseline.get(kind, 0)
+    }
 
 
 def run_scenario(spec: ScenarioSpec) -> WorkloadResult:

@@ -1,0 +1,100 @@
+"""Cache-hit accounting: per-client counters pin to workload metrics.
+
+``ClientProcess.stats.cache_hits`` used to be incremented the moment a
+cached address was *consulted*, before validation — so a stale cached
+address (server migrated away) counted as a per-client hit while
+``WorkloadMetrics.cache_hits`` (which requires ``locates == 0``) rejected
+it.  Both counters now use the same predicate; this suite drives a churny
+request stream through both accounting paths and asserts they agree
+exactly.
+"""
+
+import pytest
+
+from repro.core.types import Port
+from repro.processes.system import DistributedSystem
+from repro.strategies import CheckerboardStrategy
+from repro.topologies import CompleteTopology
+from repro.workload.metrics import WorkloadMetrics
+
+
+@pytest.fixture
+def system():
+    topology = CompleteTopology(16)
+    return DistributedSystem(
+        topology.build_network(delivery_mode="ideal"),
+        CheckerboardStrategy(topology.nodes()),
+    )
+
+
+def _drive(system, clients, port, schedule):
+    """Run a request/migrate schedule, folding outcomes into metrics the
+    way the workload driver does."""
+    metrics = WorkloadMetrics(universe_size=16)
+    server = system.servers()[0]
+    for action, arg in schedule:
+        if action == "request":
+            client = clients[arg]
+            outcome = system.request(client, port, payload=None)
+            metrics.observe_request(
+                ok=outcome.ok,
+                locates=outcome.locates,
+                retries=outcome.retries,
+                from_cache=outcome.used_cached_address,
+                locate_hops=0,
+                total_hops=0,
+            )
+        elif action == "migrate":
+            system.migrate_server(server, arg)
+    return metrics
+
+
+class TestCacheHitAccounting:
+    def test_client_counters_pin_to_workload_metrics(self, system):
+        port = Port("pin-service")
+        system.create_server(0, port)
+        clients = [system.create_client(i % 16) for i in range(4)]
+        # Warm caches, hit them, then migrate to stale every cache, then
+        # hit the refreshed caches again.
+        schedule = (
+            [("request", i) for i in range(4)]          # cold: locates
+            + [("request", i) for i in range(4)] * 2    # validated hits
+            + [("migrate", 7)]                          # stales all caches
+            + [("request", i) for i in range(4)]        # stale: NOT hits
+            + [("request", i) for i in range(4)]        # validated hits again
+        )
+        metrics = _drive(system, clients, port, schedule)
+        per_client = sum(client.stats.cache_hits for client in clients)
+        assert metrics.cache_hits == per_client
+        # 2 warm rounds + 1 post-migration round = 12 validated hits.
+        assert per_client == 12
+        # The stale round consulted the cache but had to re-locate: those
+        # four requests are counted by neither counter.
+        stale_round_requests = 4
+        assert metrics.requests == len(
+            [op for op in schedule if op[0] == "request"]
+        )
+        assert metrics.stale_retries >= stale_round_requests
+
+    def test_stale_cached_address_is_not_a_hit(self, system):
+        port = Port("stale-service")
+        server = system.create_server(0, port)
+        client = system.create_client(5)
+        assert system.request(client, port, None).ok  # cold locate
+        assert system.request(client, port, None).ok  # validated hit
+        assert client.stats.cache_hits == 1
+        system.migrate_server(server, 9)
+        outcome = system.request(client, port, None)  # stale, re-locates
+        assert outcome.ok
+        assert outcome.used_cached_address
+        assert outcome.locates == 1
+        assert client.stats.cache_hits == 1  # unchanged: hit not validated
+
+    def test_validated_hit_still_counts(self, system):
+        port = Port("hit-service")
+        system.create_server(0, port)
+        client = system.create_client(5)
+        system.request(client, port, None)
+        system.request(client, port, None)
+        system.request(client, port, None)
+        assert client.stats.cache_hits == 2

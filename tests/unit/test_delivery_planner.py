@@ -1,0 +1,210 @@
+"""The fault-aware delivery planner.
+
+Covers the headline bugfix (unicast under faults no longer rebuilds a
+routing table per message), plan/tree memoization keyed on the fault-plan
+revision, parity with naive per-call routing across fault revisions, and
+the plan-event counters exposed through :class:`MessageStats`.
+"""
+
+import pytest
+
+from repro.network.broadcast import multicast, unicast
+from repro.network.delivery import (
+    PLAN_HIT,
+    PLAN_MISS,
+    ROUTE_MISS,
+    TREE_HIT,
+    TREE_MISS,
+    DeliveryPlanner,
+)
+from repro.network.routing import RoutingTable
+from repro.network.simulator import Network
+from repro.network.stats import POST
+from repro.topologies import ManhattanTopology
+
+
+@pytest.fixture
+def grid_network():
+    """A 5x5 Manhattan grid network (interesting multi-hop routes)."""
+    return Network(ManhattanTopology.square(5).graph, delivery_mode="unicast")
+
+
+def _count_routing_table_builds(monkeypatch):
+    """Instrument RoutingTable construction; returns the counter list."""
+    built = []
+    original = RoutingTable.__init__
+
+    def counting_init(self, graph):
+        built.append(graph)
+        original(self, graph)
+
+    monkeypatch.setattr(RoutingTable, "__init__", counting_init)
+    return built
+
+
+class TestUnicastUnderFaults:
+    def test_parity_with_naive_per_call_routing(self, grid_network):
+        """Planner routes == naive per-call RoutingTable routes, across
+        several fault revisions."""
+        net = grid_network
+        graph = net.graph
+        sources = [(0, 0), (2, 2), (4, 1)]
+        target_sets = [
+            frozenset({(4, 4), (0, 4), (3, 3)}),
+            frozenset({(1, 1), (2, 3)}),
+            frozenset(graph.nodes),
+        ]
+        fault_scripts = [
+            lambda: None,
+            lambda: net.crash_node((2, 1)),
+            lambda: net.fail_link((3, 3), (3, 4)),
+            lambda: net.recover_node((2, 1)),
+        ]
+        for mutate in fault_scripts:
+            mutate()
+            faults = net.faults if net.faults.fault_count else None
+            for source in sources:
+                for targets in target_sets:
+                    planned = net.planner.plan(source, targets, "unicast")
+                    # The naive path: a fresh RoutingTable per call (the
+                    # pre-planner behaviour).
+                    naive = unicast(
+                        graph, RoutingTable(graph), source, targets, faults
+                    )
+                    assert planned.reached == naive.reached
+                    assert planned.hops == naive.hops
+                    assert planned.unreachable == naive.unreachable
+
+    def test_multicast_parity_with_naive(self, grid_network):
+        net = grid_network
+        net.crash_node((1, 2))
+        faults = net.faults
+        for source in [(0, 0), (4, 4)]:
+            targets = frozenset({(0, 4), (4, 0), (2, 2)})
+            planned = net.planner.plan(source, targets, "multicast")
+            naive = multicast(net.graph, source, targets, faults)
+            assert planned.reached == naive.reached
+            assert planned.hops == naive.hops
+            assert planned.unreachable == naive.unreachable
+
+    def test_routing_tables_built_per_revision_not_per_message(
+        self, grid_network, monkeypatch
+    ):
+        """The regression the planner exists to prevent: #RoutingTable
+        constructions is O(#fault revisions), not O(#messages)."""
+        net = grid_network
+        net.crash_node((2, 2))  # revision 1
+        built = _count_routing_table_builds(monkeypatch)
+        messages = 200
+        for i in range(messages):
+            net.deliver(
+                (0, 0), frozenset({(4, 4), (0, 4)}), POST, mode="unicast"
+            )
+            net.send_payload((0, 0), (4, 4))
+        assert len(built) == 1  # one surviving table for the revision
+        net.crash_node((3, 3))  # revision 2
+        net.deliver((0, 0), frozenset({(4, 4)}), POST, mode="unicast")
+        assert len(built) == 2
+        # Fault-free epochs reuse the network's static table: no builds.
+        net.recover_node((2, 2))
+        net.recover_node((3, 3))
+        for _ in range(50):
+            net.deliver((0, 0), frozenset({(4, 4)}), POST, mode="unicast")
+        assert len(built) == 2
+
+    def test_unicast_traffic_hits_plan_cache(self, grid_network):
+        """Repeated posts/queries with the same target set are O(1): one
+        plan miss, then hits."""
+        net = grid_network
+        net.crash_node((2, 2))
+        targets = frozenset({(4, 4), (0, 4)})
+        for _ in range(10):
+            net.deliver((0, 0), targets, POST, mode="unicast")
+        events = net.stats.plan_events
+        assert events[PLAN_MISS] == 1
+        assert events[PLAN_HIT] == 9
+
+
+class TestPlannerCaches:
+    def test_spanning_tree_memoized_per_source(self, grid_network):
+        planner = grid_network.planner
+        tree_a = planner.spanning_tree((0, 0))
+        tree_b = planner.spanning_tree((0, 0))
+        assert tree_a is tree_b
+        assert grid_network.stats.plan_events[TREE_MISS] == 1
+        assert grid_network.stats.plan_events[TREE_HIT] == 1
+
+    def test_revision_change_invalidates_plans(self, grid_network):
+        net = grid_network
+        targets = frozenset({(4, 4)})
+        before = net.planner.plan((0, 0), targets, "unicast")
+        assert before.reached == {(4, 4)}
+        # Cut every path to (4, 4) by crashing its two neighbours.
+        net.crash_node((3, 4))
+        net.crash_node((4, 3))
+        after = net.planner.plan((0, 0), targets, "unicast")
+        assert after.reached == frozenset()
+        assert after.unreachable == {(4, 4)}
+
+    def test_caches_pruned_on_revision_change(self, grid_network):
+        net = grid_network
+        net.planner.plan((0, 0), frozenset({(4, 4)}), "multicast")
+        assert net.planner.cache_info()["plans"] == 1
+        net.crash_node((1, 1))
+        info = net.planner.cache_info()
+        assert info["plans"] == 0
+        assert info["trees"] == 0
+        assert info["revision"] == net.faults.revision
+
+    def test_route_miss_once_per_faulted_revision(self, grid_network):
+        net = grid_network
+        net.crash_node((2, 2))
+        for _ in range(5):
+            net.planner.routing_table()
+        assert net.stats.plan_events[ROUTE_MISS] == 1
+
+    def test_ideal_plans_track_liveness(self, grid_network):
+        net = grid_network
+        targets = frozenset({(1, 1), (2, 2)})
+        first = net.planner.plan((0, 0), targets, "ideal")
+        assert first.reached == targets
+        assert first.hops == 2
+        net.crash_node((2, 2))
+        second = net.planner.plan((0, 0), targets, "ideal")
+        assert second.reached == {(1, 1)}
+        assert second.unreachable == {(2, 2)}
+        assert second.hops == 1
+
+
+class TestDeliverSemanticsPreserved:
+    def test_duplicate_destinations_charged_per_occurrence(self, grid_network):
+        net = grid_network
+        single = net.deliver((0, 0), [(4, 4)], POST, mode="unicast")
+        doubled = net.deliver((0, 0), [(4, 4), (4, 4)], POST, mode="unicast")
+        assert doubled.hops == 2 * single.hops
+        assert doubled.reached == single.reached
+
+    def test_duplicate_destinations_under_faults(self, grid_network):
+        net = grid_network
+        net.crash_node((2, 2))
+        single = net.deliver((0, 0), [(4, 4)], POST, mode="unicast")
+        doubled = net.deliver((0, 0), [(4, 4), (4, 4)], POST, mode="unicast")
+        assert doubled.hops == 2 * single.hops
+
+    def test_shared_surviving_table_serves_unicast_prebuilt(self, grid_network):
+        """broadcast.unicast honours a prebuilt surviving table."""
+        net = grid_network
+        net.crash_node((2, 2))
+        shared = net.planner.routing_table()
+        via_shared = unicast(
+            net.graph,
+            net.routing,
+            (0, 0),
+            frozenset({(4, 4)}),
+            net.faults,
+            surviving_table=shared,
+        )
+        via_rebuild = unicast(
+            net.graph, net.routing, (0, 0), frozenset({(4, 4)}), net.faults
+        )
+        assert via_shared == via_rebuild

@@ -1,0 +1,137 @@
+"""Regression tests for the query-path and deregistration fixes.
+
+- ``Network.query`` must consult each responding node's cache exactly once
+  per query (it used to call ``answer_query`` twice in non-collect_all
+  mode);
+- when a responder's reply route is severed, only *that responder's*
+  records are dropped — equal records held by other responders survive
+  (eviction used to remove by value equality, hitting the wrong record);
+- ``MatchMaker.deregister_server``/``migrate_server`` skip the unpost when
+  the server's old node is down instead of raising ``NodeDownError``.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.matchmaker import MatchMaker
+from repro.core.types import Port
+from repro.network.graph import complete_graph
+from repro.network.node import Node
+from repro.network.simulator import Network
+from repro.strategies import CheckerboardStrategy
+
+
+@pytest.fixture
+def port():
+    return Port("fix-service")
+
+
+@pytest.fixture
+def net():
+    return Network(complete_graph(6), delivery_mode="unicast")
+
+
+class TestSingleCacheLookup:
+    def test_answer_query_called_once_per_responder(self, net, port, monkeypatch):
+        net.post(0, port, frozenset({1, 2, 3}))
+        calls = []
+        original = Node.answer_query
+
+        def counting(self, queried_port):
+            calls.append(self.node_id)
+            return original(self, queried_port)
+
+        monkeypatch.setattr(Node, "answer_query", counting)
+        outcome = net.query(5, port, frozenset({1, 2, 3}))
+        assert outcome.responding_nodes == {1, 2, 3}
+        assert sorted(calls) == [1, 2, 3]  # exactly once each
+
+    def test_non_responders_also_checked_once(self, net, port, monkeypatch):
+        net.post(0, port, frozenset({1}))
+        calls = []
+        original = Node.answer_query
+
+        def counting(self, queried_port):
+            calls.append(self.node_id)
+            return original(self, queried_port)
+
+        monkeypatch.setattr(Node, "answer_query", counting)
+        net.query(5, port, frozenset({1, 2}))
+        assert sorted(calls) == [1, 2]
+
+
+class TestUnreachableReplyEviction:
+    def _sever_reply_from(self, net, lost_responder, monkeypatch):
+        """Make replies from ``lost_responder`` undeliverable without
+        touching forward delivery (simulates asymmetric loss)."""
+        real = net.planner.routing_table()
+        stub = SimpleNamespace(
+            has_route=lambda s, d: s != lost_responder and real.has_route(s, d),
+            distance=real.distance,
+        )
+        monkeypatch.setattr(net, "_surviving_routing", lambda: stub)
+
+    def test_equal_record_of_other_responder_survives(
+        self, net, port, monkeypatch
+    ):
+        # One post delivers the *same* record to nodes 1 and 2.
+        net.post(0, port, frozenset({1, 2}))
+        self._sever_reply_from(net, 2, monkeypatch)
+        outcome = net.query(5, port, frozenset({1, 2}))
+        # Node 2's reply is lost, but node 1 holds an equal record and its
+        # reply arrives: the match must succeed with exactly that record.
+        assert outcome.responding_nodes == {1}
+        assert len(outcome.records) == 1
+        assert outcome.records[0].address.node == 0
+
+    def test_equal_records_survive_in_collect_all_mode(
+        self, net, port, monkeypatch
+    ):
+        net.post(0, port, frozenset({1, 2}))
+        net.post(3, port, frozenset({1, 2}))
+        self._sever_reply_from(net, 2, monkeypatch)
+        outcome = net.query(5, port, frozenset({1, 2}), collect_all=True)
+        assert outcome.responding_nodes == {1}
+        # Both servers' records from node 1; node 2's copies dropped.
+        assert len(outcome.records) == 2
+        assert {record.address.node for record in outcome.records} == {0, 3}
+
+    def test_reply_hops_not_charged_for_lost_responder(
+        self, net, port, monkeypatch
+    ):
+        net.post(0, port, frozenset({1, 2}))
+        self._sever_reply_from(net, 2, monkeypatch)
+        before = net.stats.hops_for("reply")
+        net.query(5, port, frozenset({1, 2}))
+        # Only node 1's reply is charged (distance 1 on a complete graph).
+        assert net.stats.hops_for("reply") - before == 1
+
+
+class TestDeregisterDownNode:
+    def test_deregister_skips_unpost_when_node_down(self, net, port):
+        matchmaker = MatchMaker(net, CheckerboardStrategy(net.node_ids()))
+        registration = matchmaker.register_server(0, port)
+        net.crash_node(0)
+        matchmaker.deregister_server(registration)  # must not raise
+        assert registration.server_id not in {
+            reg.server_id for reg in matchmaker.registrations
+        }
+
+    def test_migrate_from_down_node_reposts_fresh(self, net, port):
+        matchmaker = MatchMaker(net, CheckerboardStrategy(net.node_ids()))
+        registration = matchmaker.register_server(0, port)
+        net.crash_node(0)
+        fresh = matchmaker.migrate_server(registration, 3)
+        assert fresh.node == 3
+        # The fresh posting's newer timestamp wins at shared rendezvous
+        # nodes, so a locate finds the new home.
+        result = matchmaker.locate(4, port)
+        assert result.found
+        assert result.address.node == 3
+
+    def test_deregister_still_unposts_when_node_up(self, net, port):
+        matchmaker = MatchMaker(net, CheckerboardStrategy(net.node_ids()))
+        registration = matchmaker.register_server(0, port)
+        matchmaker.deregister_server(registration)
+        assert not matchmaker.locate(4, port).found
