@@ -1,0 +1,154 @@
+"""E17 — the scenario-matrix engine: grids of workloads under fault
+timelines.
+
+The paper's qualitative claim is a trade-off surface, not a point: cost and
+robustness move against each other across strategies and topologies.  This
+benchmark runs a 3-topology × 3-strategy × 3-fault-regime grid (fault-free,
+crash/recover waves, link flaps) through the matrix engine, checks the
+shared contract on every cell, proves the shared-network amortization
+deterministically (a warm planner serves strictly more plans from cache
+than 27 cold networks would) and persists the full ``MatrixReport`` into
+``BENCH_workload.json`` under ``matrix``.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the per-cell
+operation count; smoke runs do not touch ``BENCH_workload.json``.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.workload import (
+    ArrivalSpec,
+    FaultRegimeSpec,
+    MatrixSpec,
+    PopularitySpec,
+    ScenarioSpec,
+    replay_trace,
+    run_matrix,
+)
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_workload.json"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+#: Requests per matrix cell (27 cells; the grid is run twice — shared and
+#: unshared networks — for the amortization proof).
+OPERATIONS = 250 if SMOKE else 900
+
+TOPOLOGIES = ("complete:36", "manhattan:6", "hypercube:5")
+STRATEGIES = ("checkerboard", "hash-locate", "centralized")
+REGIMES = (
+    FaultRegimeSpec(),
+    FaultRegimeSpec(kind="waves", events=3, size=2, start=0.08, period=0.15,
+                    downtime=0.1),
+    FaultRegimeSpec(kind="flaps", events=4, start=0.05, period=0.12,
+                    downtime=0.08),
+)
+
+
+def bench_matrix() -> MatrixSpec:
+    """The E17 grid: every cell runs the identical seeded traffic program."""
+    return MatrixSpec(
+        name="e17",
+        topologies=TOPOLOGIES,
+        strategies=STRATEGIES,
+        fault_regimes=REGIMES,
+        base=ScenarioSpec(
+            operations=OPERATIONS,
+            clients=12,
+            servers=8,
+            ports=4,
+            delivery_mode="unicast",
+            seed=1717,
+            arrival=ArrivalSpec(kind="poisson", rate=1500.0),
+            popularity=PopularitySpec(kind="zipf", zipf_exponent=1.1),
+        ),
+    )
+
+
+def run_matrix_experiment():
+    shared_report, results = run_matrix(bench_matrix(), keep_results=True)
+    cold_report, _ = run_matrix(bench_matrix(), share_networks=False)
+    return shared_report, cold_report, results
+
+
+def test_bench_e17_matrix(benchmark, record):
+    shared_report, cold_report, results = benchmark.pedantic(
+        run_matrix_experiment, rounds=1, iterations=1
+    )
+
+    # -- the full grid ran: 3 x 3 x 3, nothing skipped -----------------------
+    assert len(shared_report) == 27
+    assert shared_report.skipped == []
+    assert set(shared_report.by_topology()) == set(TOPOLOGIES)
+    assert set(shared_report.by_strategy()) == set(STRATEGIES)
+    assert len(shared_report.by_regime()) == 3
+
+    # -- shared contract on every cell ---------------------------------------
+    for cell in shared_report.cells:
+        summary = cell.summary
+        assert summary["requests"] == OPERATIONS
+        assert summary["successes"] + summary["failures"] == OPERATIONS
+        assert summary["locate_hops"]["p99"] >= summary["locate_hops"]["p50"]
+
+    # -- robustness is visible on the regime axis ----------------------------
+    by_regime = shared_report.by_regime()
+    assert by_regime["none"]["availability"] == 1.0
+    for label, aggregate in by_regime.items():
+        if label != "none":
+            assert aggregate["availability"] <= 1.0
+            # Faults are disruptive but not fatal: the rendezvous recovers.
+            assert aggregate["availability"] > 0.5
+    assert shared_report.availability_floor() > 0.5
+
+    # -- the paper's load story still holds, cell by cell --------------------
+    by_strategy = shared_report.by_strategy()
+    assert by_strategy["centralized"]["p95_locate_hops"] <= \
+        by_strategy["checkerboard"]["p95_locate_hops"]
+
+    # -- shared-network amortization, deterministically ----------------------
+    # Identical grids, identical traffic; the only difference is network
+    # sharing.  Cells on a warm shared network must (a) produce identical
+    # metrics and (b) pay strictly fewer plan misses in total.
+    assert [c.summary for c in shared_report.cells] == \
+        [c.summary for c in cold_report.cells]
+    shared_misses = shared_report.plan_cache_events().get("plan_miss", 0)
+    cold_misses = cold_report.plan_cache_events().get("plan_miss", 0)
+    assert shared_misses < cold_misses, (
+        f"warm shared networks should save plan misses "
+        f"(shared={shared_misses}, cold={cold_misses})"
+    )
+    shared_hits = shared_report.plan_cache_events().get("plan_hit", 0)
+    # With address caching on, most requests never even consult the planner;
+    # of the lookups that do happen, more are served warm than cold even
+    # though every fault event flushes the caches.
+    assert shared_hits > shared_misses
+
+    # -- a faulted cell replays byte-for-byte (link ops included) ------------
+    faulted = next(
+        result for result in results
+        if result.spec.faults.kind == "flaps" and result.metrics.fault_events
+    )
+    replayed = replay_trace(faulted.trace)
+    assert json.dumps(replayed.to_dict(), sort_keys=True) == \
+        json.dumps(faulted.to_dict(), sort_keys=True)
+
+    # -- persist the matrix report (full-size runs only) ---------------------
+    if not SMOKE:
+        payload = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
+        payload["matrix"] = {
+            "experiment": "e17-matrix",
+            "report": shared_report.to_dict(),
+            "plan_misses_shared": shared_misses,
+            "plan_misses_cold": cold_misses,
+        }
+        BENCH_JSON.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+
+    record(
+        cells=len(shared_report),
+        availability_floor=shared_report.availability_floor(),
+        plan_misses_shared=shared_misses,
+        plan_misses_cold=cold_misses,
+    )

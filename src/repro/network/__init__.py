@@ -8,9 +8,20 @@ logical clock, and fault injection.
 
 from .broadcast import DeliveryOutcome, flood, multicast, unicast
 from .cache import BoundedCache, ExpiringCache, NodeCache
-from .delivery import DeliveryPlanner
+from .delivery import DeliveryPlanner, plan_hit_rates
 from .events import EventLoop
-from .faults import FaultPlan, max_tolerated_faults, random_fault_plan, surviving_graph
+from .faults import (
+    FaultEvent,
+    FaultPlan,
+    FaultTimeline,
+    correlated_failures,
+    crash_recover_waves,
+    link_flaps,
+    max_tolerated_faults,
+    random_fault_plan,
+    region_partition,
+    surviving_graph,
+)
 from .graph import Graph, complete_graph
 from .node import Node
 from .relay import (
@@ -32,7 +43,9 @@ __all__ = [
     "DeliveryPlanner",
     "EventLoop",
     "ExpiringCache",
+    "FaultEvent",
     "FaultPlan",
+    "FaultTimeline",
     "Graph",
     "LoadReport",
     "MessageStats",
@@ -48,13 +61,18 @@ __all__ = [
     "RoutingTable",
     "compare_direct_vs_relay",
     "complete_graph",
+    "correlated_failures",
+    "crash_recover_waves",
     "direct_route",
     "flood",
+    "link_flaps",
     "measure_load",
     "max_tolerated_faults",
     "multicast",
     "multicast_tree_cost",
+    "plan_hit_rates",
     "random_fault_plan",
+    "region_partition",
     "route_cost",
     "surviving_graph",
     "two_phase_route",

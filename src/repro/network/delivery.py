@@ -48,6 +48,28 @@ TREE_MISS = "tree_miss"
 ROUTE_HIT = "route_hit"
 ROUTE_MISS = "route_miss"
 
+#: Every plan-event kind, paired as (hit, miss) per cache family.
+PLAN_EVENT_FAMILIES = {
+    "plan": (PLAN_HIT, PLAN_MISS),
+    "tree": (TREE_HIT, TREE_MISS),
+    "route": (ROUTE_HIT, ROUTE_MISS),
+}
+
+
+def plan_hit_rates(events: Dict[str, int]) -> Dict[str, float]:
+    """Per-cache-family hit rates from a plan-event counter dict.
+
+    Accepts either :attr:`MessageStats.plan_events` or the baselined
+    ``plan_cache`` dict a workload run reports; families with no traffic
+    report a rate of 0.0.
+    """
+    rates = {}
+    for family, (hit, miss) in PLAN_EVENT_FAMILIES.items():
+        hits = events.get(hit, 0)
+        total = hits + events.get(miss, 0)
+        rates[family] = hits / total if total else 0.0
+    return rates
+
 
 class DeliveryPlanner:
     """Single source of routing truth for a :class:`~repro.network.Network`.

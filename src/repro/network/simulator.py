@@ -34,7 +34,7 @@ from .broadcast import DeliveryOutcome, flood
 from .cache import NodeCache
 from .delivery import DeliveryPlanner
 from .events import EventLoop
-from .faults import FaultPlan
+from .faults import CRASH_NODE, LINK_DOWN, LINK_UP, RECOVER_NODE, FaultEvent, FaultPlan
 from .graph import Graph
 from .node import Node
 from .routing import RoutingTable
@@ -98,6 +98,7 @@ class Network:
             )
         self._graph = graph.copy()
         self._delivery_mode = delivery_mode
+        self._seed = seed
         self._nodes: Dict[Hashable, Node] = {
             node_id: Node(node_id, cache_factory()) for node_id in self._graph.nodes
         }
@@ -206,6 +207,25 @@ class Network:
         """Restore a failed link."""
         self._faults.restore_link(u, v)
 
+    def apply_fault(self, event: FaultEvent) -> None:
+        """Apply one :class:`~repro.network.faults.FaultEvent` to this
+        network.
+
+        The execution primitive for fault timelines: each event moves the
+        fault plan (and so the planner revision) exactly as the equivalent
+        direct call would.
+        """
+        if event.kind == CRASH_NODE:
+            self.crash_node(event.subject[0])
+        elif event.kind == RECOVER_NODE:
+            self.recover_node(event.subject[0])
+        elif event.kind == LINK_DOWN:
+            self.fail_link(*event.subject)
+        elif event.kind == LINK_UP:
+            self.restore_link(*event.subject)
+        else:  # pragma: no cover - FaultEvent validates kinds
+            raise ValueError(f"unknown fault event kind {event.kind!r}")
+
     def node_is_up(self, node_id: Hashable) -> bool:
         """Whether ``node_id`` is currently up."""
         return self.node(node_id).alive and self._faults.node_is_up(node_id)
@@ -213,6 +233,29 @@ class Network:
     def up_nodes(self) -> List[Hashable]:
         """Identifiers of all currently-up nodes."""
         return [node_id for node_id in self._nodes if self.node_is_up(node_id)]
+
+    def reset_for_reuse(self) -> None:
+        """Restore pristine state so another run can share this network.
+
+        Scenario matrices run many cells over the same topology; rebuilding
+        the network per cell repays the O(n²) all-pairs routing construction
+        every time.  Resetting instead keeps the graph, the static routing
+        table and the delivery planner (whose fault-free caches stay warm —
+        plans are pure functions of graph + fault revision) while restoring
+        everything a run observes: node liveness and caches, the fault plan,
+        message statistics, timestamps, the clock and the private generator.
+        A reset network is indistinguishable from a freshly built one to the
+        workload driver, which is what keeps shared-network runs replayable.
+        """
+        for node in self._nodes.values():
+            if not node.alive:
+                node.recover()
+            node.cache.clear()
+        self._faults.clear()  # no revision bump when already fault-free
+        self._stats.reset()
+        self._clock = EventLoop()
+        self._rng = random.Random(self._seed)
+        self._timestamps = itertools.count(1)
 
     # -- message delivery -----------------------------------------------------
 
@@ -270,6 +313,13 @@ class Network:
                 outcome.reached - dead, outcome.hops, outcome.unreachable | dead
             )
         self._stats.record(category, outcome.hops, message_count=message_count)
+        if message_count == len(targets):
+            delivered = len(outcome.reached)
+        else:
+            # Duplicate destinations: every occurrence counts separately, so
+            # the conservation law sent == delivered + dropped still holds.
+            delivered = sum(1 for d in destinations if d in outcome.reached)
+        self._stats.record_delivery(category, delivered, message_count - delivered)
         self._stats.record_load(outcome.reached)
         return outcome
 
@@ -381,6 +431,7 @@ class Network:
         records: List[PostRecord] = []
         responders: List[Hashable] = []
         reply_hops = 0
+        lost_replies = 0
         mode = mode or self._delivery_mode
         reply_table = self._surviving_routing() if mode != "ideal" else None
         for target in outcome.reached:
@@ -400,11 +451,16 @@ class Network:
                 else:
                     # The reply cannot come back; this responder contributes
                     # nothing (its records stay out — other responders may
-                    # hold equal records, which must survive).
+                    # hold equal records, which must survive).  The reply was
+                    # still sent, so it counts as sent-and-dropped.
+                    lost_replies += 1
                     continue
             records.extend(found)
             responders.append(target)
-        self._stats.record(REPLY, reply_hops, message_count=len(responders))
+        self._stats.record(
+            REPLY, reply_hops, message_count=len(responders) + lost_replies
+        )
+        self._stats.record_delivery(REPLY, len(responders), lost_replies)
         return QueryOutcome(
             records=tuple(records),
             responding_nodes=frozenset(responders),
@@ -427,6 +483,7 @@ class Network:
         table = self._surviving_routing()
         hops = 0 if source == destination else table.distance(source, destination)
         self._stats.record(PAYLOAD, hops, message_count=1)
+        self._stats.record_delivery(PAYLOAD, 1, 0)
         return hops
 
     def cache_sizes(self) -> Dict[Hashable, int]:

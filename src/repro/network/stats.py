@@ -39,6 +39,14 @@ class MessageStats:
     messages: Dict[str, int] = field(default_factory=dict)
     node_load: Dict[Hashable, int] = field(default_factory=dict)
     plan_events: Dict[str, int] = field(default_factory=dict)
+    #: Per-destination delivery outcomes by category: a message occurrence is
+    #: *delivered* when its destination was reached and *dropped* when the
+    #: destination was down or unreachable.  For point-to-point delivery
+    #: traffic these obey the conservation law ``sent = delivered + dropped``
+    #: (``messages[c] == delivered[c] + dropped[c]``), which the differential
+    #: test suite pins for every strategy.
+    delivered: Dict[str, int] = field(default_factory=dict)
+    dropped: Dict[str, int] = field(default_factory=dict)
 
     def record(self, category: str, hop_count: int, message_count: int = 1) -> None:
         """Charge ``hop_count`` hops and ``message_count`` messages to
@@ -47,6 +55,19 @@ class MessageStats:
             raise ValueError("counts must be non-negative")
         self.hops[category] = self.hops.get(category, 0) + hop_count
         self.messages[category] = self.messages.get(category, 0) + message_count
+
+    def record_delivery(
+        self, category: str, delivered: int, dropped: int
+    ) -> None:
+        """Record per-destination delivery outcomes for ``category``."""
+        if delivered < 0 or dropped < 0:
+            raise ValueError("counts must be non-negative")
+        if delivered:
+            self.delivered[category] = (
+                self.delivered.get(category, 0) + delivered
+            )
+        if dropped:
+            self.dropped[category] = self.dropped.get(category, 0) + dropped
 
     def record_load(self, nodes: Iterable[Hashable]) -> None:
         """Count one delivered message against each addressed node."""
@@ -60,6 +81,34 @@ class MessageStats:
     def plan_events_for(self, kind: str) -> int:
         """Planner cache events of ``kind`` recorded so far."""
         return self.plan_events.get(kind, 0)
+
+    def delivered_for(self, category: str) -> int:
+        """Message occurrences delivered to their destination."""
+        return self.delivered.get(category, 0)
+
+    def dropped_for(self, category: str) -> int:
+        """Message occurrences that never reached their destination."""
+        return self.dropped.get(category, 0)
+
+    def conservation_violations(
+        self, categories: Iterable[str] = (POST, QUERY)
+    ) -> Dict[str, Tuple[int, int, int]]:
+        """Categories where ``sent != delivered + dropped``.
+
+        Returns ``{category: (sent, delivered, dropped)}`` for every
+        violating category — empty means the conservation law holds.  Only
+        meaningful for per-destination delivery traffic (post/query by
+        default); flood-style broadcast sends one message to many nodes and
+        is deliberately out of scope.
+        """
+        violations = {}
+        for category in categories:
+            sent = self.messages.get(category, 0)
+            delivered = self.delivered.get(category, 0)
+            dropped = self.dropped.get(category, 0)
+            if sent != delivered + dropped:
+                violations[category] = (sent, delivered, dropped)
+        return violations
 
     def load_for(self, node: Hashable) -> int:
         """Delivered messages that addressed ``node``."""
@@ -75,6 +124,10 @@ class MessageStats:
             self.node_load[node] = self.node_load.get(node, 0) + count
         for kind, count in other.plan_events.items():
             self.plan_events[kind] = self.plan_events.get(kind, 0) + count
+        for category, count in other.delivered.items():
+            self.delivered[category] = self.delivered.get(category, 0) + count
+        for category, count in other.dropped.items():
+            self.dropped[category] = self.dropped.get(category, 0) + count
 
     def hops_for(self, category: str) -> int:
         """Hops charged to ``category``."""
@@ -109,6 +162,8 @@ class MessageStats:
             messages=dict(self.messages),
             node_load=dict(self.node_load),
             plan_events=dict(self.plan_events),
+            delivered=dict(self.delivered),
+            dropped=dict(self.dropped),
         )
 
     def diff(self, earlier: "MessageStats") -> "MessageStats":
@@ -129,11 +184,21 @@ class MessageStats:
             kind: count - earlier.plan_events.get(kind, 0)
             for kind, count in self.plan_events.items()
         }
+        delivered = {
+            category: count - earlier.delivered.get(category, 0)
+            for category, count in self.delivered.items()
+        }
+        dropped = {
+            category: count - earlier.dropped.get(category, 0)
+            for category, count in self.dropped.items()
+        }
         return MessageStats(
             hops={k: v for k, v in hops.items() if v},
             messages={k: v for k, v in messages.items() if v},
             node_load={k: v for k, v in node_load.items() if v},
             plan_events={k: v for k, v in plan_events.items() if v},
+            delivered={k: v for k, v in delivered.items() if v},
+            dropped={k: v for k, v in dropped.items() if v},
         )
 
     def items(self) -> Iterator[Tuple[str, int]]:
@@ -146,3 +211,5 @@ class MessageStats:
         self.messages.clear()
         self.node_load.clear()
         self.plan_events.clear()
+        self.delivered.clear()
+        self.dropped.clear()

@@ -11,6 +11,13 @@ hotspot) and churn models (migration, failover, invalidation storms); the
 like a production service — hop percentiles, cache hit rates, per-node load
 — with byte-exact trace record/replay for reproducibility.
 
+Beyond single scenarios, :class:`FaultRegimeSpec` schedules substrate fault
+timelines (crash/recover waves, link flaps, region partitions, correlated
+failures) that advance the fault-plan revision mid-run, and the
+scenario-matrix engine (:class:`MatrixSpec` / :func:`run_matrix`) expands
+topology × strategy × fault-regime grids into cells that share one network
+per topology and aggregate into a comparable :class:`MatrixReport`.
+
 Quick start::
 
     from repro.workload import ScenarioSpec, PopularitySpec, run_scenario
@@ -52,6 +59,7 @@ from .driver import (
     run_scenario,
     workload_table,
 )
+from .matrix import CellResult, MatrixCell, MatrixReport, MatrixSpec, run_matrix
 from .metrics import HopHistogram, WorkloadMetrics
 from .popularity import (
     MovingHotspotPopularity,
@@ -62,8 +70,10 @@ from .popularity import (
 from .spec import (
     ArrivalSpec,
     ChurnSpec,
+    FaultRegimeSpec,
     PopularitySpec,
     ScenarioSpec,
+    build_fault_timeline,
     build_strategy,
     build_topology,
     strategy_names,
@@ -74,12 +84,17 @@ __all__ = [
     "ArrivalProcess",
     "ArrivalSpec",
     "BurstArrivals",
+    "CellResult",
     "ChurnEvent",
     "ChurnModel",
     "ChurnSpec",
     "ClosedLoopArrivals",
     "FailoverChurn",
+    "FaultRegimeSpec",
     "HopHistogram",
+    "MatrixCell",
+    "MatrixReport",
+    "MatrixSpec",
     "MigrationChurn",
     "MixedChurn",
     "MovingHotspotPopularity",
@@ -96,10 +111,12 @@ __all__ = [
     "WorkloadMetrics",
     "WorkloadResult",
     "ZipfPopularity",
+    "build_fault_timeline",
     "build_strategy",
     "build_topology",
     "compare_under_load",
     "replay_trace",
+    "run_matrix",
     "run_scenario",
     "strategy_names",
     "workload_table",

@@ -27,9 +27,11 @@ import heapq
 import random
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..core.types import Port
+from ..network import faults as _faults
+from ..network.simulator import Network
 from ..network.stats import PAYLOAD, QUERY, REPLY
 from ..processes.client import ClientProcess
 from ..processes.server import ServerProcess
@@ -38,8 +40,26 @@ from . import arrivals as _arrivals
 from . import churn as _churn
 from . import popularity as _popularity
 from .metrics import WorkloadMetrics, merge_node_load
-from .spec import ScenarioSpec, build_strategy, build_topology
-from .trace import CRASH, MIGRATE, RECOVER, REQUEST, RESPAWN, STORM, Trace, TraceOp
+from .spec import (
+    ScenarioSpec,
+    build_fault_timeline,
+    build_strategy,
+    build_topology,
+)
+from .trace import (
+    CRASH,
+    FAULT_CRASH,
+    FAULT_RECOVER,
+    LINK_DOWN,
+    LINK_UP,
+    MIGRATE,
+    RECOVER,
+    REQUEST,
+    RESPAWN,
+    STORM,
+    Trace,
+    TraceOp,
+)
 
 
 @dataclass
@@ -73,6 +93,20 @@ class WorkloadResult:
             **self.metrics.summary(),
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """The run as one deterministic, JSON-safe dictionary.
+
+        Replaying the run's trace reproduces this dict byte-for-byte.
+        Wall-clock throughput and the planner cache counters are deliberately
+        excluded: the former is nondeterministic, the latter depends on
+        whether the run shared a warm network with earlier matrix cells.
+        """
+        return {
+            "spec": self.spec.to_dict(),
+            "summary": self.summary(),
+            "trace_ops": self.trace.operation_counts(),
+        }
+
 
 class _RunState:
     """Mutable per-run execution state (fresh for every run/replay)."""
@@ -93,12 +127,36 @@ class _RunState:
 
 
 class WorkloadDriver:
-    """Executes one scenario: generation, batched driving, measurement."""
+    """Executes one scenario: generation, batched driving, measurement.
 
-    def __init__(self, spec: ScenarioSpec) -> None:
+    Pass ``network`` to run on a shared, pre-built network (the matrix
+    engine shares one network per topology so the O(n²) routing construction
+    and the delivery planner's fault-free caches amortize across cells); the
+    driver resets it to pristine state before every run, so results are
+    identical to a run on a freshly built network.
+    """
+
+    def __init__(
+        self, spec: ScenarioSpec, network: Optional[Network] = None
+    ) -> None:
         self.spec = spec
         self._topology = build_topology(spec.topology)
         self._strategy = build_strategy(spec.strategy, self._topology)
+        if network is not None:
+            graph = self._topology.graph
+            same_nodes = network.graph.node_set == graph.node_set
+            # Node ids alone are not identity: ring:16 and complete:16 share
+            # {0..15} but route completely differently.
+            same_edges = same_nodes and (
+                {frozenset(edge) for edge in network.graph.edges}
+                == {frozenset(edge) for edge in graph.edges}
+            )
+            if not same_edges:
+                raise ValueError(
+                    f"shared network (n={network.size}) does not match "
+                    f"topology {spec.topology!r}"
+                )
+        self._shared_network = network
         # A canonical node order gives every node a stable integer index;
         # traces store indices, never raw (possibly tuple-valued) node ids.
         self._nodes: List[Hashable] = sorted(self._topology.nodes(), key=repr)
@@ -124,7 +182,11 @@ class WorkloadDriver:
         spec's seed, so a replay rebuilds the identical initial system.
         """
         spec = self.spec
-        network = self._topology.build_network(delivery_mode=spec.delivery_mode)
+        if self._shared_network is not None:
+            network = self._shared_network
+            network.reset_for_reuse()
+        else:
+            network = self._topology.build_network(delivery_mode=spec.delivery_mode)
         system = DistributedSystem(
             network,
             self._strategy,
@@ -181,9 +243,12 @@ class WorkloadDriver:
             slot, node_index = op.args
             system.migrate_server(state.slots[slot], self._nodes[node_index])
             metrics.observe_churn(MIGRATE)
-        elif op.kind == CRASH:
+        elif op.kind in (CRASH, FAULT_CRASH):
             system.crash_node(self._nodes[op.args[0]])
-            metrics.observe_churn(CRASH)
+            if op.kind == CRASH:
+                metrics.observe_churn(CRASH)
+            else:
+                metrics.observe_fault(FAULT_CRASH)
         elif op.kind == RESPAWN:
             slot, node_index = op.args
             state.slots[slot] = system.create_server(
@@ -192,14 +257,17 @@ class WorkloadDriver:
                 name=f"srv-{slot}",
             )
             metrics.observe_churn(RESPAWN)
-        elif op.kind == RECOVER:
+        elif op.kind in (RECOVER, FAULT_RECOVER):
             system.recover_node(self._nodes[op.args[0]])
             # The node returns with an empty cache; live servers re-advertise
             # so rendezvous through it works again (fresh timestamps win).
             for server in state.slots:
                 if server.accepting:
                     system.refresh_server(server)
-            metrics.observe_churn(RECOVER)
+            if op.kind == RECOVER:
+                metrics.observe_churn(RECOVER)
+            else:
+                metrics.observe_fault(FAULT_RECOVER)
         elif op.kind == STORM:
             system.invalidate_caches(self._nodes[i] for i in op.args)
             # Servers notice and re-advertise; their fresh timestamps win at
@@ -208,8 +276,47 @@ class WorkloadDriver:
                 if server.accepting:
                     system.refresh_server(server)
             metrics.observe_churn(STORM)
+        elif op.kind == LINK_DOWN:
+            u, v = op.args
+            state.network.fail_link(self._nodes[u], self._nodes[v])
+            metrics.observe_fault(LINK_DOWN)
+        elif op.kind == LINK_UP:
+            u, v = op.args
+            state.network.restore_link(self._nodes[u], self._nodes[v])
+            metrics.observe_fault(LINK_UP)
         else:  # pragma: no cover - TraceOp validates kinds
             raise ValueError(f"unknown op kind {op.kind!r}")
+
+    # -- fault-timeline resolution ---------------------------------------------
+
+    def _fault_op(self, event: _faults.FaultEvent) -> TraceOp:
+        """Map one scheduled fault event to a concrete trace op.
+
+        Node events get the FAULT_* op kinds: they execute exactly like
+        churn-driven crash/recover (processes die, recovered nodes trigger
+        re-advertisement) but are metered as fault events, so the
+        churn-versus-fault split in the metrics survives replay.
+        """
+        if event.kind == _faults.CRASH_NODE:
+            return TraceOp(
+                FAULT_CRASH, event.time, (self._node_index[event.subject[0]],)
+            )
+        if event.kind == _faults.RECOVER_NODE:
+            return TraceOp(
+                FAULT_RECOVER, event.time,
+                (self._node_index[event.subject[0]],),
+            )
+        if event.kind == _faults.LINK_DOWN:
+            u, v = event.subject
+            return TraceOp(
+                LINK_DOWN, event.time, (self._node_index[u], self._node_index[v])
+            )
+        if event.kind == _faults.LINK_UP:
+            u, v = event.subject
+            return TraceOp(
+                LINK_UP, event.time, (self._node_index[u], self._node_index[v])
+            )
+        raise ValueError(f"unknown fault event kind {event.kind!r}")
 
     # -- churn resolution ------------------------------------------------------
 
@@ -306,33 +413,54 @@ class WorkloadDriver:
         churn_events = churn_model.schedule(churn_rng, horizon)
 
         state = self._build_state()
+        # The fault timeline is materialized against the static graph with
+        # its own generator; client hosts are protected (their death would
+        # abort the request stream, which is the workload, not the subject).
+        fault_rng = random.Random(f"{spec.seed}/faults")
+        timeline = build_fault_timeline(
+            spec.faults, self._topology.graph, fault_rng,
+            protected=state.client_nodes,
+        )
+        fault_ops = [self._fault_op(event) for event in timeline]
         trace = Trace(spec.to_dict())
         metrics = WorkloadMetrics(universe_size=len(self._nodes))
         load_baseline = dict(state.network.stats.node_load)
         plan_baseline = dict(state.network.stats.plan_events)
         pending_recoveries: List[Tuple[float, int]] = []
         churn_cursor = 0
+        fault_cursor = 0
         started = _time.perf_counter()
 
         def _drain(until: float) -> None:
-            """Execute recoveries and churn due at or before ``until``."""
-            nonlocal churn_cursor
+            """Execute recoveries, fault events and churn due at or before
+            ``until``; ties execute recoveries first, then faults, then
+            churn."""
+            nonlocal churn_cursor, fault_cursor
             while True:
-                if not pending_recoveries and churn_cursor >= len(churn_events):
-                    return
                 recovery_due = (
                     pending_recoveries[0][0] if pending_recoveries else float("inf")
+                )
+                fault_due = (
+                    fault_ops[fault_cursor].time
+                    if fault_cursor < len(fault_ops)
+                    else float("inf")
                 )
                 churn_due = (
                     churn_events[churn_cursor].time
                     if churn_cursor < len(churn_events)
                     else float("inf")
                 )
-                if recovery_due > until and churn_due > until:
+                due = min(recovery_due, fault_due, churn_due)
+                if due == float("inf") or due > until:
                     return
-                if recovery_due <= churn_due:
-                    due, node_index = heapq.heappop(pending_recoveries)
-                    op = TraceOp(RECOVER, due, (node_index,))
+                if recovery_due == due:
+                    due_time, node_index = heapq.heappop(pending_recoveries)
+                    op = TraceOp(RECOVER, due_time, (node_index,))
+                    trace.append(op)
+                    self._exec_op(state, metrics, op)
+                elif fault_due == due:
+                    op = fault_ops[fault_cursor]
+                    fault_cursor += 1
                     trace.append(op)
                     self._exec_op(state, metrics, op)
                 else:

@@ -1,0 +1,414 @@
+"""The scenario-matrix engine: grids of workloads, run comparably.
+
+The paper's central claim is a *trade-off*: match-making cost and robustness
+move against each other as the rendezvous strategy and the topology change.
+One hand-picked (topology, strategy, fault) triple cannot show a trade-off —
+a grid can.  :class:`MatrixSpec` declares the grid (topologies × strategies ×
+fault regimes, optionally × arrival/popularity/churn models), ``expand()``
+turns it into concrete :class:`~repro.workload.spec.ScenarioSpec`\\ s (cells
+whose strategy cannot run on their topology are skipped and reported, not
+silently dropped), and :func:`run_matrix` executes every cell through the
+batched driver.
+
+Cells of the same topology share one :class:`~repro.network.Network` — and
+therefore one static routing table and one
+:class:`~repro.network.delivery.DeliveryPlanner` — so the O(n²) routing
+construction is paid once per topology, not once per cell, and fault-free
+plan caches stay warm across cells.  The driver resets the shared network
+before each run, so every cell's metrics are byte-identical to a run on a
+fresh network (and to a replay of its recorded trace).
+
+The per-cell results aggregate into a :class:`MatrixReport`: hop
+percentiles, cache hit rate, plan-cache hit rate and availability under
+faults, sliceable by strategy, topology or fault regime, with JSON
+persistence for benchmark trajectories.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import StrategyError
+from ..network.delivery import plan_hit_rates
+from ..network.simulator import Network
+from .driver import WorkloadDriver, WorkloadResult
+from .spec import (
+    ArrivalSpec,
+    ChurnSpec,
+    FaultRegimeSpec,
+    PopularitySpec,
+    ScenarioSpec,
+    build_strategy,
+    build_topology,
+)
+
+
+def _regime_labels(regimes: Sequence[FaultRegimeSpec]) -> List[str]:
+    """One unique label per regime axis entry (duplicates get an index)."""
+    labels = [regime.label for regime in regimes]
+    seen: Dict[str, int] = {}
+    unique = []
+    for label in labels:
+        count = seen.get(label, 0)
+        seen[label] = count + 1
+        unique.append(label if labels.count(label) == 1 else f"{label}#{count}")
+    return unique
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One expanded grid cell: the concrete spec plus its grid coordinates.
+
+    ``regime`` is the axis label (uniquified when the same regime kind
+    appears twice on the axis), so reports can group duplicate kinds
+    separately.
+    """
+
+    spec: ScenarioSpec
+    topology: str
+    strategy: str
+    regime: str
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """A declarative scenario grid.
+
+    ``base`` is the template every cell inherits (operations, population,
+    seed, delivery mode...); the axis tuples override one dimension each.
+    Leaving ``arrivals``/``popularities``/``churns`` empty keeps the base's
+    single model on that axis.
+    """
+
+    name: str = "matrix"
+    topologies: Tuple[str, ...] = ("complete:16",)
+    strategies: Tuple[str, ...] = ("checkerboard",)
+    fault_regimes: Tuple[FaultRegimeSpec, ...] = (FaultRegimeSpec(),)
+    base: ScenarioSpec = field(default_factory=ScenarioSpec)
+    arrivals: Tuple[ArrivalSpec, ...] = ()
+    popularities: Tuple[PopularitySpec, ...] = ()
+    churns: Tuple[ChurnSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.topologies or not self.strategies or not self.fault_regimes:
+            raise ValueError(
+                "topologies, strategies and fault_regimes must be non-empty"
+            )
+
+    @property
+    def cell_count(self) -> int:
+        """Grid size before compatibility filtering."""
+        return (
+            len(self.topologies) * len(self.strategies)
+            * len(self.fault_regimes)
+            * max(1, len(self.arrivals)) * max(1, len(self.popularities))
+            * max(1, len(self.churns))
+        )
+
+    def expand(self) -> Tuple[List[MatrixCell], List[Dict[str, str]]]:
+        """All runnable cells, plus records of the skipped ones.
+
+        A cell is skipped when its strategy cannot be instantiated on its
+        topology (e.g. ``manhattan`` routing on a hypercube); the skip
+        record carries the cell coordinates and the reason.
+        """
+        arrivals = self.arrivals or (self.base.arrival,)
+        popularities = self.popularities or (self.base.popularity,)
+        churns = self.churns or (self.base.churn,)
+        regime_labels = _regime_labels(self.fault_regimes)
+        cells: List[MatrixCell] = []
+        skipped: List[Dict[str, str]] = []
+        for topology_name in self.topologies:
+            topology = build_topology(topology_name)
+            for strategy_name in self.strategies:
+                try:
+                    build_strategy(strategy_name, topology)
+                except StrategyError as error:
+                    skipped.append({
+                        "topology": topology_name,
+                        "strategy": strategy_name,
+                        "reason": str(error),
+                    })
+                    continue
+                for regime, regime_label in zip(self.fault_regimes, regime_labels):
+                    for a, arrival in enumerate(arrivals):
+                        for p, popularity in enumerate(popularities):
+                            for c, churn in enumerate(churns):
+                                parts = [
+                                    self.name, topology_name, strategy_name,
+                                    regime_label,
+                                ]
+                                # Model axes only appear in the name when
+                                # they actually vary, so the common 3-axis
+                                # grid keeps short cell names.
+                                if len(arrivals) > 1:
+                                    parts.append(f"a{a}")
+                                if len(popularities) > 1:
+                                    parts.append(f"p{p}")
+                                if len(churns) > 1:
+                                    parts.append(f"c{c}")
+                                spec = replace(
+                                    self.base,
+                                    name="/".join(parts),
+                                    topology=topology_name,
+                                    strategy=strategy_name,
+                                    faults=regime,
+                                    arrival=arrival,
+                                    popularity=popularity,
+                                    churn=churn,
+                                )
+                                cells.append(MatrixCell(
+                                    spec=spec,
+                                    topology=topology_name,
+                                    strategy=strategy_name,
+                                    regime=regime_label,
+                                ))
+        return cells, skipped
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe description of the grid."""
+        return {
+            "name": self.name,
+            "topologies": list(self.topologies),
+            "strategies": list(self.strategies),
+            "fault_regimes": [
+                regime.label for regime in self.fault_regimes
+            ],
+            "base": self.base.to_dict(),
+            "cell_count": self.cell_count,
+        }
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One matrix cell's deterministic outcome plus run metadata."""
+
+    topology: str
+    strategy: str
+    regime: str
+    summary: Dict[str, object]
+    plan_cache: Dict[str, int]
+    wall_seconds: float
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the cell's requests that were served."""
+        return float(self.summary.get("success_rate", 0.0))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (wall seconds rounded; they are informational)."""
+        return {
+            "topology": self.topology,
+            "strategy": self.strategy,
+            "regime": self.regime,
+            "summary": self.summary,
+            "plan_cache": dict(self.plan_cache),
+            "wall_seconds": round(self.wall_seconds, 4),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CellResult":
+        """Rebuild a cell from :meth:`to_dict` output."""
+        return cls(
+            topology=str(data["topology"]),
+            strategy=str(data["strategy"]),
+            regime=str(data["regime"]),
+            summary=dict(data["summary"]),
+            plan_cache=dict(data.get("plan_cache", {})),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+        )
+
+
+class MatrixReport:
+    """Comparable aggregation of every cell in one matrix run."""
+
+    def __init__(
+        self,
+        grid: Dict[str, object],
+        cells: Sequence[CellResult],
+        skipped: Sequence[Dict[str, str]] = (),
+    ) -> None:
+        self._grid = dict(grid)
+        self._cells = list(cells)
+        self._skipped = [dict(entry) for entry in skipped]
+
+    @property
+    def grid(self) -> Dict[str, object]:
+        """The grid description this report was produced from."""
+        return dict(self._grid)
+
+    @property
+    def cells(self) -> List[CellResult]:
+        """Every executed cell."""
+        return list(self._cells)
+
+    @property
+    def skipped(self) -> List[Dict[str, str]]:
+        """Cells that could not run (incompatible strategy/topology)."""
+        return [dict(entry) for entry in self._skipped]
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    # -- slicing ---------------------------------------------------------------
+
+    def _aggregate(self, key: str) -> Dict[str, Dict[str, object]]:
+        """Aggregate cells grouped by one coordinate (strategy/topology/
+        regime)."""
+        groups: Dict[str, List[CellResult]] = {}
+        for cell in self._cells:
+            groups.setdefault(getattr(cell, key), []).append(cell)
+        aggregated = {}
+        for label in sorted(groups):
+            members = groups[label]
+            requests = sum(c.summary["requests"] for c in members)
+            successes = sum(c.summary["successes"] for c in members)
+            cache_hits = sum(c.summary["cache_hits"] for c in members)
+            plan_events: Dict[str, int] = {}
+            for cell in members:
+                for kind, count in cell.plan_cache.items():
+                    plan_events[kind] = plan_events.get(kind, 0) + count
+            aggregated[label] = {
+                "cells": len(members),
+                "requests": requests,
+                "availability": round(successes / requests, 4) if requests else 0.0,
+                "worst_cell_availability": round(
+                    min(c.availability for c in members), 4
+                ),
+                "cache_hit_rate": round(cache_hits / requests, 4) if requests else 0.0,
+                "p95_locate_hops": max(
+                    c.summary["locate_hops"]["p95"] for c in members
+                ),
+                "p99_locate_hops": max(
+                    c.summary["locate_hops"]["p99"] for c in members
+                ),
+                "plan_hit_rate": round(plan_hit_rates(plan_events)["plan"], 4),
+            }
+        return aggregated
+
+    def by_strategy(self) -> Dict[str, Dict[str, object]]:
+        """Aggregates per strategy — the paper's cross-strategy comparison."""
+        return self._aggregate("strategy")
+
+    def by_topology(self) -> Dict[str, Dict[str, object]]:
+        """Aggregates per topology."""
+        return self._aggregate("topology")
+
+    def by_regime(self) -> Dict[str, Dict[str, object]]:
+        """Aggregates per fault regime — robustness under each fault shape."""
+        return self._aggregate("regime")
+
+    def availability_floor(self) -> float:
+        """The worst availability any cell recorded (1.0 for empty reports)."""
+        if not self._cells:
+            return 1.0
+        return min(cell.availability for cell in self._cells)
+
+    def plan_cache_events(self) -> Dict[str, int]:
+        """Planner cache events summed over every cell."""
+        totals: Dict[str, int] = {}
+        for cell in self._cells:
+            for kind, count in cell.plan_cache.items():
+                totals[kind] = totals.get(kind, 0) + count
+        return totals
+
+    def table(self) -> List[Dict[str, object]]:
+        """Per-cell rows for printed comparison tables."""
+        rows = []
+        for cell in self._cells:
+            rows.append({
+                "topology": cell.topology,
+                "strategy": cell.strategy,
+                "regime": cell.regime,
+                "ok%": round(100 * cell.availability, 1),
+                "hit%": round(100 * float(cell.summary["cache_hit_rate"]), 1),
+                "p50 hops": cell.summary["locate_hops"]["p50"],
+                "p95 hops": cell.summary["locate_hops"]["p95"],
+                "stale": cell.summary["stale_retries"],
+            })
+        return rows
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """The whole report as one JSON-safe dictionary."""
+        return {
+            "grid": self._grid,
+            "cells": [cell.to_dict() for cell in self._cells],
+            "skipped": self.skipped,
+            "by_strategy": self.by_strategy(),
+            "by_regime": self.by_regime(),
+            "availability_floor": round(self.availability_floor(), 4),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MatrixReport":
+        """Rebuild a report from :meth:`to_dict` output (aggregates are
+        recomputed from the cells, not trusted from the file)."""
+        return cls(
+            grid=dict(data.get("grid", {})),
+            cells=[CellResult.from_dict(cell) for cell in data.get("cells", [])],
+            skipped=data.get("skipped", []),
+        )
+
+    def to_path(self, path) -> None:
+        """Persist the report as pretty-printed JSON."""
+        with open(path, "w", encoding="utf-8") as fp:
+            json.dump(self.to_dict(), fp, indent=2, sort_keys=True)
+            fp.write("\n")
+
+    @classmethod
+    def from_path(cls, path) -> "MatrixReport":
+        """Load a report written by :meth:`to_path`."""
+        with open(path, "r", encoding="utf-8") as fp:
+            return cls.from_dict(json.load(fp))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MatrixReport(cells={len(self._cells)}, "
+            f"availability_floor={self.availability_floor():.3f})"
+        )
+
+
+def run_matrix(
+    matrix: MatrixSpec,
+    share_networks: bool = True,
+    keep_results: bool = False,
+) -> Tuple[MatrixReport, List[WorkloadResult]]:
+    """Execute every cell of ``matrix`` and aggregate the results.
+
+    With ``share_networks`` (the default) all cells on the same topology
+    run over one reset-between-runs :class:`~repro.network.Network`.  Full
+    :class:`~repro.workload.driver.WorkloadResult` objects (with traces) are
+    only retained when ``keep_results`` is set — a large grid's traces can
+    dwarf the report.
+    """
+    cells, skipped = matrix.expand()
+    networks: Dict[str, Network] = {}
+    cell_results: List[CellResult] = []
+    results: List[WorkloadResult] = []
+    for cell in cells:
+        spec = cell.spec
+        network: Optional[Network] = None
+        if share_networks:
+            network = networks.get(spec.topology)
+            if network is None:
+                network = build_topology(spec.topology).build_network(
+                    delivery_mode=spec.delivery_mode
+                )
+                networks[spec.topology] = network
+        result = WorkloadDriver(spec, network=network).run()
+        cell_results.append(CellResult(
+            topology=cell.topology,
+            strategy=cell.strategy,
+            regime=cell.regime,
+            summary=result.summary(),
+            plan_cache=result.plan_cache,
+            wall_seconds=result.wall_seconds,
+        ))
+        if keep_results:
+            results.append(result)
+    report = MatrixReport(matrix.to_dict(), cell_results, skipped)
+    return report, results

@@ -87,6 +87,10 @@ class WorkloadMetrics:
     locates: int = 0
     stale_retries: int = 0
     churn_events: Dict[str, int] = field(default_factory=dict)
+    #: Substrate fault-timeline events executed during the run (crash waves,
+    #: link flaps, partitions...), by trace-op kind.  Separate from
+    #: ``churn_events``, which counts population churn.
+    fault_events: Dict[str, int] = field(default_factory=dict)
     #: Hops spent on match-making (query + reply) per request.
     locate_hops: HopHistogram = field(default_factory=HopHistogram)
     #: Total hops (match-making + payload round trip) per request.
@@ -117,6 +121,10 @@ class WorkloadMetrics:
         """Count one resolved churn event."""
         self.churn_events[kind] = self.churn_events.get(kind, 0) + 1
 
+    def observe_fault(self, kind: str) -> None:
+        """Count one executed fault-timeline event."""
+        self.fault_events[kind] = self.fault_events.get(kind, 0) + 1
+
     # -- derived quantities ---------------------------------------------------
 
     @property
@@ -128,6 +136,13 @@ class WorkloadMetrics:
     def success_rate(self) -> float:
         """Fraction of requests that completed."""
         return self.successes / self.requests if self.requests else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Operational alias for :attr:`success_rate`: the fraction of
+        requests the system served while churn and fault timelines played
+        out — the matrix engine's headline robustness number."""
+        return self.success_rate
 
     def load_balance(self) -> Dict[str, float]:
         """Per-node load summary: mean, max and the max/mean imbalance.
@@ -175,10 +190,13 @@ class WorkloadMetrics:
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "stale_retries": self.stale_retries,
             "churn_events": dict(sorted(self.churn_events.items())),
+            "fault_events": dict(sorted(self.fault_events.items())),
             "locate_hops": self.locate_hops.to_dict(),
             "request_hops": self.request_hops.to_dict(),
             "load": self.load_balance(),
-            "hottest_nodes": self.hottest_nodes(),
+            # Lists, not tuples, so the dict is canonical under a JSON
+            # round-trip (persisted matrix cells compare equal after reload).
+            "hottest_nodes": [list(pair) for pair in self.hottest_nodes()],
         }
 
 

@@ -14,11 +14,20 @@ The spec layer also owns the name-to-object resolvers ``build_topology`` and
 
 from __future__ import annotations
 
+import random
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, List
+from typing import Dict, Hashable, Iterable, List
 
 from ..core.exceptions import StrategyError
 from ..core.strategy import MatchMakingStrategy
+from ..network.faults import (
+    FaultTimeline,
+    correlated_failures,
+    crash_recover_waves,
+    link_flaps,
+    region_partition,
+)
+from ..network.graph import Graph
 from ..strategies import (
     CubeConnectedCyclesStrategy,
     HierarchicalGatewayStrategy,
@@ -49,6 +58,8 @@ ARRIVAL_KINDS = ("closed", "poisson", "burst")
 POPULARITY_KINDS = ("uniform", "zipf", "hotspot")
 #: Churn model kinds.
 CHURN_KINDS = ("none", "migration", "failover", "storm", "mixed")
+#: Fault-regime kinds.
+FAULT_REGIME_KINDS = ("none", "waves", "flaps", "partition", "correlated")
 
 
 @dataclass(frozen=True)
@@ -150,6 +161,67 @@ class ChurnSpec:
 
 
 @dataclass(frozen=True)
+class FaultRegimeSpec:
+    """A scheduled fault timeline, declaratively.
+
+    Unlike churn (which reshuffles the *server population*), a fault regime
+    attacks the *substrate* on a schedule, advancing the network's fault-plan
+    revision mid-run:
+
+    ``none``
+        a fault-free run;
+    ``waves``
+        ``events`` crash waves of ``size`` random nodes each, every node
+        recovering ``downtime`` seconds after its wave struck;
+    ``flaps``
+        ``events`` link flaps — a random link fails and heals ``downtime``
+        later (the same link may flap repeatedly);
+    ``partition``
+        ``events`` region partitions: all links around a BFS region of
+        ``size`` nodes are cut, then healed ``downtime`` later;
+    ``correlated``
+        ``events`` correlated failures: an epicenter plus up to ``size - 1``
+        neighbours crash together and recover together.
+
+    The first event fires at ``start`` seconds of scenario time; subsequent
+    events are ``period`` apart.
+    """
+
+    kind: str = "none"
+    events: int = 2
+    size: int = 2
+    start: float = 0.5
+    period: float = 1.0
+    downtime: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_REGIME_KINDS:
+            raise ValueError(
+                f"unknown fault regime kind {self.kind!r}; "
+                f"expected one of {FAULT_REGIME_KINDS}"
+            )
+        if self.events < 1 or self.size < 1:
+            raise ValueError("events and size must be at least 1")
+        if self.start < 0 or self.period <= 0 or self.downtime <= 0:
+            raise ValueError(
+                "start must be non-negative; period and downtime positive"
+            )
+
+    @property
+    def label(self) -> str:
+        """A compact identity string for matrix-cell names and reports.
+
+        ``size`` only appears for kinds that use it (flaps always hit one
+        link at a time).
+        """
+        if self.kind == "none":
+            return "none"
+        if self.kind == "flaps":
+            return f"flaps(e{self.events})"
+        return f"{self.kind}(e{self.events},s{self.size})"
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One complete, reproducible workload scenario."""
 
@@ -169,6 +241,7 @@ class ScenarioSpec:
     arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
     popularity: PopularitySpec = field(default_factory=PopularitySpec)
     churn: ChurnSpec = field(default_factory=ChurnSpec)
+    faults: FaultRegimeSpec = field(default_factory=FaultRegimeSpec)
 
     def __post_init__(self) -> None:
         if self.operations < 1:
@@ -196,6 +269,8 @@ class ScenarioSpec:
         payload["arrival"] = ArrivalSpec(**payload.get("arrival", {}))
         payload["popularity"] = PopularitySpec(**payload.get("popularity", {}))
         payload["churn"] = ChurnSpec(**payload.get("churn", {}))
+        # Traces recorded before fault regimes existed have no "faults" key.
+        payload["faults"] = FaultRegimeSpec(**payload.get("faults", {}))
         return cls(**payload)
 
 
@@ -288,3 +363,52 @@ def build_strategy(name: str, topology: Topology) -> MatchMakingStrategy:
             f"unknown strategy {name!r}; known: {', '.join(strategy_names())}"
         )
     return registry.create(name, topology.nodes())
+
+
+def build_fault_timeline(
+    regime: FaultRegimeSpec,
+    graph: Graph,
+    rng: random.Random,
+    protected: Iterable[Hashable] = (),
+) -> FaultTimeline:
+    """Materialize a declarative fault regime against a concrete graph.
+
+    All random choices (which nodes a wave fells, which links flap, where a
+    partition sits) come from ``rng``, so the same regime + seed yields the
+    same timeline.  ``protected`` nodes — client hosts, whose death would
+    abort the request stream — are never crashed; links around them may
+    still fail, which only costs availability.
+    """
+    if regime.kind == "none":
+        return FaultTimeline()
+    if regime.kind == "waves":
+        return crash_recover_waves(
+            graph, rng,
+            waves=regime.events, wave_size=regime.size,
+            start=regime.start, period=regime.period,
+            downtime=regime.downtime, protected=protected,
+        )
+    if regime.kind == "flaps":
+        return link_flaps(
+            graph, rng,
+            flaps=regime.events, start=regime.start,
+            period=regime.period, downtime=regime.downtime,
+        )
+    if regime.kind == "partition":
+        timeline = FaultTimeline()
+        for event in range(regime.events):
+            at = regime.start + event * regime.period
+            timeline = timeline.merged(region_partition(
+                graph, rng,
+                at=at, heal_at=at + regime.downtime,
+                region_size=regime.size,
+            ))
+        return timeline
+    if regime.kind == "correlated":
+        return correlated_failures(
+            graph, rng,
+            shots=regime.events, start=regime.start,
+            period=regime.period, downtime=regime.downtime,
+            blast_radius=regime.size, protected=protected,
+        )
+    raise ValueError(f"unknown fault regime kind {regime.kind!r}")

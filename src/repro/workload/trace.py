@@ -18,15 +18,24 @@ import json
 from dataclasses import dataclass
 from typing import Dict, IO, Iterator, List, Optional, Sequence, Tuple
 
-#: Trace operation kinds.
+#: Trace operation kinds.  Fault-timeline node events get their own kinds
+#: (same execution semantics as churn-driven crash/recover, but metered as
+#: fault events, so replays reproduce the churn/fault split exactly).
 REQUEST = "request"    # args: (client_index, port_index)
 MIGRATE = "migrate"    # args: (server_slot, target_node_index)
 CRASH = "crash"        # args: (node_index,)
 RECOVER = "recover"    # args: (node_index,)
 RESPAWN = "respawn"    # args: (server_slot, target_node_index)
 STORM = "storm"        # args: (node_index, node_index, ...)
+FAULT_CRASH = "fault_crash"      # args: (node_index,)
+FAULT_RECOVER = "fault_recover"  # args: (node_index,)
+LINK_DOWN = "link_down"  # args: (node_index_u, node_index_v)
+LINK_UP = "link_up"      # args: (node_index_u, node_index_v)
 
-OP_KINDS = (REQUEST, MIGRATE, CRASH, RECOVER, RESPAWN, STORM)
+OP_KINDS = (
+    REQUEST, MIGRATE, CRASH, RECOVER, RESPAWN, STORM,
+    FAULT_CRASH, FAULT_RECOVER, LINK_DOWN, LINK_UP,
+)
 
 
 @dataclass(frozen=True)

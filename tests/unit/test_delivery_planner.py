@@ -6,17 +6,22 @@ revision, parity with naive per-call routing across fault revisions, and
 the plan-event counters exposed through :class:`MessageStats`.
 """
 
+import random
+
 import pytest
 
 from repro.network.broadcast import multicast, unicast
 from repro.network.delivery import (
     PLAN_HIT,
     PLAN_MISS,
+    ROUTE_HIT,
     ROUTE_MISS,
     TREE_HIT,
     TREE_MISS,
     DeliveryPlanner,
+    plan_hit_rates,
 )
+from repro.network.faults import link_flaps
 from repro.network.routing import RoutingTable
 from repro.network.simulator import Network
 from repro.network.stats import POST
@@ -191,6 +196,16 @@ class TestDeliverSemanticsPreserved:
         doubled = net.deliver((0, 0), [(4, 4), (4, 4)], POST, mode="unicast")
         assert doubled.hops == 2 * single.hops
 
+    def test_plan_hit_rates_helper(self, grid_network):
+        net = grid_network
+        net.crash_node((2, 2))
+        targets = frozenset({(4, 4)})
+        for _ in range(4):
+            net.deliver((0, 0), targets, POST, mode="unicast")
+        rates = plan_hit_rates(net.stats.plan_events)
+        assert rates["plan"] == 0.75  # 1 miss, 3 hits
+        assert rates["tree"] == 0.0   # no multicast traffic at all
+
     def test_shared_surviving_table_serves_unicast_prebuilt(self, grid_network):
         """broadcast.unicast honours a prebuilt surviving table."""
         net = grid_network
@@ -208,3 +223,93 @@ class TestDeliverSemanticsPreserved:
             net.graph, net.routing, (0, 0), frozenset({(4, 4)}), net.faults
         )
         assert via_shared == via_rebuild
+
+
+class TestInvalidationAcrossFaultTimelines:
+    """Satellite regression suite: the planner's caches must invalidate and
+    re-warm correctly across a *full* fault timeline — fail, heal, then fail
+    the same link again — not just across a single revision change."""
+
+    LINK = ((2, 2), (2, 3))
+    TARGETS = frozenset({(4, 4), (0, 4)})
+
+    def _route_messages(self, net, count=5):
+        for _ in range(count):
+            net.deliver((0, 0), self.TARGETS, POST, mode="unicast")
+
+    def test_fail_heal_fail_same_link_counters(self, grid_network):
+        """Each epoch pays exactly one plan miss; every other message in the
+        epoch is a hit.  Fault-free epochs use the static table (no route
+        events at all)."""
+        net = grid_network
+        events = net.stats.plan_events
+
+        self._route_messages(net)  # epoch 0: fault-free
+        assert events == {PLAN_MISS: 1, PLAN_HIT: 4}
+
+        net.fail_link(*self.LINK)  # epoch 1: link down
+        self._route_messages(net)
+        assert events[PLAN_MISS] == 2
+        assert events[PLAN_HIT] == 8
+        assert events[ROUTE_MISS] == 1  # one surviving-table build
+
+        net.restore_link(*self.LINK)  # epoch 2: healed (fault-free again)
+        self._route_messages(net)
+        assert events[PLAN_MISS] == 3
+        assert events[PLAN_HIT] == 12
+        assert events[ROUTE_MISS] == 1  # static table again, no rebuild
+
+        net.fail_link(*self.LINK)  # epoch 3: the *same* link fails again
+        self._route_messages(net)
+        assert events[PLAN_MISS] == 4  # the healed-epoch plan must not leak
+        assert events[PLAN_HIT] == 16
+        assert events[ROUTE_MISS] == 2  # a fresh surviving table
+
+    def test_fail_heal_fail_same_link_routes(self, grid_network, monkeypatch):
+        """Routing outcomes track the timeline: the detour appears when the
+        link fails, disappears when it heals, reappears on the second
+        failure — and surviving tables are built once per faulted epoch."""
+        net = grid_network
+        source, target = (2, 0), frozenset({(2, 4)})
+        baseline = net.planner.plan(source, target, "unicast").hops
+
+        built = _count_routing_table_builds(monkeypatch)
+        net.fail_link(*self.LINK)
+        detour = net.planner.plan(source, target, "unicast").hops
+        assert detour > baseline
+
+        net.restore_link(*self.LINK)
+        assert net.planner.plan(source, target, "unicast").hops == baseline
+
+        net.fail_link(*self.LINK)
+        assert net.planner.plan(source, target, "unicast").hops == detour
+        assert len(built) == 2  # one per faulted epoch, zero when healed
+
+    def test_generated_flap_timeline_drives_invalidation(self, grid_network):
+        """A link_flaps timeline applied event-by-event: every event bumps
+        the revision, and each inter-event epoch pays exactly one miss for
+        the repeated plan."""
+        net = grid_network
+        timeline = link_flaps(
+            net.graph, random.Random(7), flaps=4, start=0.0, period=1.0,
+            downtime=0.5,
+        )
+        assert len(timeline) == 8
+        events = net.stats.plan_events
+        epochs = 0
+        for event in timeline:
+            net.apply_fault(event)
+            epochs += 1
+            self._route_messages(net, count=3)
+            assert events[PLAN_MISS] == epochs
+            assert events[PLAN_HIT] == 2 * epochs
+        # Revisions advanced one per applied event.
+        assert net.planner.cache_info()["revision"] == len(timeline)
+
+    def test_route_hits_accumulate_within_faulted_epoch(self, grid_network):
+        net = grid_network
+        net.fail_link(*self.LINK)
+        for _ in range(3):
+            net.send_payload((0, 0), (4, 4))
+        assert net.stats.plan_events[ROUTE_MISS] == 1
+        assert net.stats.plan_events[ROUTE_HIT] == 2
