@@ -12,6 +12,13 @@ than 27 cold networks would) and persists the full ``MatrixReport`` into
 
 Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the per-cell
 operation count; smoke runs do not touch ``BENCH_workload.json``.
+
+The shared-network grid runs through the parallel execution engine when
+``REPRO_BENCH_WORKERS`` is set above 1 (CI runs the smoke twice, sequential
+and 2-worker, and fails if the two report digests differ — set
+``REPRO_MATRIX_DIGEST_OUT`` to capture the digest for that comparison).
+Every assertion below holds identically in both modes, because the
+parallel merge is byte-identical.
 """
 
 import json
@@ -34,6 +41,11 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 #: Requests per matrix cell (27 cells; the grid is run twice — shared and
 #: unshared networks — for the amortization proof).
 OPERATIONS = 250 if SMOKE else 900
+#: Worker processes for the shared-network grid (1 = sequential engine).
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+#: Optional path to write the shared report's canonical digest to, so CI
+#: can diff a sequential smoke against a parallel one.
+DIGEST_OUT = os.environ.get("REPRO_MATRIX_DIGEST_OUT")
 
 TOPOLOGIES = ("complete:36", "manhattan:6", "hypercube:5")
 STRATEGIES = ("checkerboard", "hash-locate", "centralized")
@@ -47,7 +59,8 @@ REGIMES = (
 
 
 def bench_matrix() -> MatrixSpec:
-    """The E17 grid: every cell runs the identical seeded traffic program."""
+    """The E17 grid: each cell's traffic derives from a stable hash of its
+    grid coordinates, so results are independent of execution order."""
     return MatrixSpec(
         name="e17",
         topologies=TOPOLOGIES,
@@ -67,7 +80,11 @@ def bench_matrix() -> MatrixSpec:
 
 
 def run_matrix_experiment():
-    shared_report, results = run_matrix(bench_matrix(), keep_results=True)
+    # keep_results crosses the process boundary when WORKERS > 1: full
+    # WorkloadResults (traces included) pickle back from the workers.
+    shared_report, results = run_matrix(
+        bench_matrix(), keep_results=True, workers=WORKERS
+    )
     cold_report, _ = run_matrix(bench_matrix(), share_networks=False)
     return shared_report, cold_report, results
 
@@ -125,6 +142,8 @@ def test_bench_e17_matrix(benchmark, record):
     assert shared_hits > shared_misses
 
     # -- a faulted cell replays byte-for-byte (link ops included) ------------
+    # With WORKERS > 1 the trace was recorded inside a worker process and
+    # pickled back; replaying it here is the cross-process replay check.
     faulted = next(
         result for result in results
         if result.spec.faults.kind == "flaps" and result.metrics.fault_events
@@ -133,12 +152,17 @@ def test_bench_e17_matrix(benchmark, record):
     assert json.dumps(replayed.to_dict(), sort_keys=True) == \
         json.dumps(faulted.to_dict(), sort_keys=True)
 
+    # -- digest for the CI sequential-vs-parallel parity check ---------------
+    if DIGEST_OUT:
+        Path(DIGEST_OUT).write_text(shared_report.digest() + "\n")
+
     # -- persist the matrix report (full-size runs only) ---------------------
     if not SMOKE:
         payload = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
         payload["matrix"] = {
             "experiment": "e17-matrix",
             "report": shared_report.to_dict(),
+            "report_digest": shared_report.digest(),
             "plan_misses_shared": shared_misses,
             "plan_misses_cold": cold_misses,
         }

@@ -1,0 +1,144 @@
+"""E18 — the parallel execution engine: wall clock and the exact merge.
+
+The matrix engine made the paper's trade-off surface computable; the
+parallel engine makes it cheap.  This benchmark runs the E17-shaped
+3-topology × 3-strategy × 3-fault-regime grid twice — sequentially and
+sharded across 4 worker processes — and pins the two claims the engine
+stands on:
+
+* **exactness**: the parallel ``MatrixReport`` is byte-identical to the
+  sequential one (canonical SHA-256 digest; checked at 2 and at 4 workers),
+  so parallelism is free of *any* result drift, warm-cache counters
+  included;
+* **speed**: on hardware with enough cores, the 4-worker run finishes at
+  least twice as fast.  Topology affinity caps useful workers at the
+  number of distinct topologies (3 here), so 4 workers leave one idle and
+  the ideal speedup is 3x; the floor asserts 2x.
+
+The wall-clock assertion only arms on machines with >= 4 CPUs and outside
+smoke mode — a single-core CI runner still proves exactness (processes
+interleave; digests must still match) but cannot prove speed.  Full runs
+persist sequential/parallel seconds and the speedup into
+``BENCH_workload.json`` under ``parallel``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.workload import (
+    ArrivalSpec,
+    FaultRegimeSpec,
+    MatrixSpec,
+    PopularitySpec,
+    ScenarioSpec,
+    run_matrix,
+)
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_workload.json"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+#: Requests per matrix cell (27 cells; the grid runs three times: 1, 2 and
+#: 4 workers).
+OPERATIONS = 120 if SMOKE else 500
+#: Worker count for the timed parallel run.
+WORKERS = 4
+#: The speedup floor only applies where the hardware can deliver it.
+ASSERT_SPEEDUP = not SMOKE and (os.cpu_count() or 1) >= 4
+SPEEDUP_FLOOR = 2.0
+
+
+def bench_matrix() -> MatrixSpec:
+    """The E18 grid: three topologies shard across three busy workers."""
+    return MatrixSpec(
+        name="e18",
+        topologies=("complete:36", "manhattan:6", "hypercube:5"),
+        strategies=("checkerboard", "hash-locate", "centralized"),
+        fault_regimes=(
+            FaultRegimeSpec(),
+            FaultRegimeSpec(kind="waves", events=3, size=2, start=0.08,
+                            period=0.15, downtime=0.1),
+            FaultRegimeSpec(kind="flaps", events=4, start=0.05, period=0.12,
+                            downtime=0.08),
+        ),
+        base=ScenarioSpec(
+            operations=OPERATIONS,
+            clients=12,
+            servers=8,
+            ports=4,
+            delivery_mode="unicast",
+            seed=1818,
+            arrival=ArrivalSpec(kind="poisson", rate=1500.0),
+            popularity=PopularitySpec(kind="zipf", zipf_exponent=1.1),
+        ),
+    )
+
+
+def run_parallel_experiment():
+    started = time.perf_counter()
+    sequential, _ = run_matrix(bench_matrix())
+    sequential_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel, _ = run_matrix(bench_matrix(), workers=WORKERS)
+    parallel_seconds = time.perf_counter() - started
+
+    two_workers, _ = run_matrix(bench_matrix(), workers=2)
+    return (
+        sequential, parallel, two_workers,
+        sequential_seconds, parallel_seconds,
+    )
+
+
+def test_bench_e18_parallel(benchmark, record):
+    (
+        sequential, parallel, two_workers,
+        sequential_seconds, parallel_seconds,
+    ) = benchmark.pedantic(run_parallel_experiment, rounds=1, iterations=1)
+
+    # -- exactness: the merge is byte-identical at any worker count ----------
+    assert len(sequential) == 27 and sequential.skipped == []
+    assert parallel.digest() == sequential.digest(), (
+        "4-worker merge diverged from the sequential report"
+    )
+    assert two_workers.digest() == sequential.digest(), (
+        "2-worker merge diverged from the sequential report"
+    )
+    # Digest equality really is full equality minus wall clock.
+    assert parallel.canonical_dict() == sequential.canonical_dict()
+
+    # -- speed: parallel wall clock beats sequential where cores exist -------
+    speedup = sequential_seconds / parallel_seconds if parallel_seconds else 0.0
+    if ASSERT_SPEEDUP:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"expected >= {SPEEDUP_FLOOR}x on {os.cpu_count()} CPUs, "
+            f"measured {speedup:.2f}x "
+            f"(seq {sequential_seconds:.2f}s, par {parallel_seconds:.2f}s)"
+        )
+
+    # -- persist the trajectory (full-size runs only) ------------------------
+    if not SMOKE:
+        payload = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
+        payload["parallel"] = {
+            "experiment": "e18-parallel",
+            "cells": len(sequential),
+            "workers": WORKERS,
+            "cpus": os.cpu_count(),
+            "sequential_seconds": round(sequential_seconds, 3),
+            "parallel_seconds": round(parallel_seconds, 3),
+            "speedup": round(speedup, 3),
+            "speedup_asserted": ASSERT_SPEEDUP,
+            "report_digest": sequential.digest(),
+        }
+        BENCH_JSON.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+
+    record(
+        cells=len(sequential),
+        workers=WORKERS,
+        sequential_seconds=round(sequential_seconds, 3),
+        parallel_seconds=round(parallel_seconds, 3),
+        speedup=round(speedup, 3),
+    )

@@ -17,6 +17,7 @@ from .experiment import (
     fit_logarithmic,
     fit_power_law,
     format_table,
+    render_matrix_report,
     geometric_sizes,
     relative_error,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "fit_power_law",
     "format_degree_table",
     "format_table",
+    "render_matrix_report",
     "geometric_sizes",
     "graph_profile",
     "measure_strategy",

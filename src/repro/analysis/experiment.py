@@ -34,6 +34,35 @@ def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
     return "\n".join(lines)
 
 
+def render_matrix_report(report) -> str:
+    """A matrix report as the standard four-section sweep text.
+
+    Per-cell rows, the by-strategy and by-fault-regime slices, then the
+    availability floor and the canonical digest (worker-count independent,
+    so two printouts of the same grid are comparable at a glance).  Shared
+    by ``python -m repro matrix`` and ``examples/matrix_sweep.py``.
+    """
+    sections = [
+        f"== {len(report)} cells "
+        f"({len(report.skipped)} skipped as incompatible) ==\n",
+        format_table(report.table()),
+        "\n== by strategy ==\n",
+        format_table([
+            {"strategy": label, **aggregate}
+            for label, aggregate in report.by_strategy().items()
+        ]),
+        "\n== by fault regime ==\n",
+        format_table([
+            {"regime": label, **aggregate}
+            for label, aggregate in report.by_regime().items()
+        ]),
+        f"\navailability floor (worst cell): "
+        f"{report.availability_floor():.3f}",
+        f"report digest (worker-count independent): {report.digest()}",
+    ]
+    return "\n".join(sections)
+
+
 def fit_power_law(points: Sequence[Tuple[float, float]]) -> Tuple[float, float]:
     """Least-squares fit ``y = a·x^b`` in log-log space; returns ``(a, b)``.
 

@@ -1,0 +1,182 @@
+"""The ``python -m repro`` command line: run, sweep, replay — reproducibly.
+
+Three subcommands wrap the workload and execution engines for shell use:
+
+``run spec.json``
+    execute one :class:`~repro.workload.spec.ScenarioSpec`, print its
+    deterministic result dict as JSON, optionally record the trace;
+``matrix grid.json --workers N``
+    expand a :class:`~repro.workload.matrix.MatrixSpec` and run it through
+    the parallel execution engine (``--workers 0`` = one per CPU), with
+    progress/ETA on stderr and the per-cell/per-axis tables on stdout;
+``replay trace.jsonl``
+    re-execute a recorded trace and, with ``--expect``, verify the replay
+    reproduces a previously saved result byte-for-byte.
+
+Everything machine-readable goes to stdout, progress and notes to stderr,
+so ``python -m repro ... > out.json`` composes in pipelines.  Exit status
+is 0 on success, 1 on a failed ``--expect`` verification, 2 on bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .analysis import render_matrix_report
+from .core.exceptions import MatchMakingError
+from .exec.progress import ProgressReporter
+from .workload import (
+    MatrixSpec,
+    ScenarioSpec,
+    Trace,
+    replay_trace,
+    run_matrix,
+    run_scenario,
+)
+
+
+def _load_json(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fp:
+        return json.load(fp)
+
+
+def _emit(data: dict) -> None:
+    json.dump(data, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+def _note(message: str) -> None:
+    sys.stderr.write(message + "\n")
+
+
+# -- subcommands -------------------------------------------------------------------
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = ScenarioSpec.from_dict(_load_json(args.spec))
+    result = run_scenario(spec)
+    if args.trace:
+        result.trace.to_path(args.trace)
+        _note(f"trace ({len(result.trace)} ops) -> {args.trace}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fp:
+            json.dump(result.to_dict(), fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        _note(f"result -> {args.out}")
+    _emit(result.to_dict())
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    matrix = MatrixSpec.from_dict(_load_json(args.spec))
+    progress = None if args.no_progress else ProgressReporter()
+    report, _ = run_matrix(
+        matrix,
+        workers=args.workers,
+        progress=progress,
+        trace_dir=args.traces,
+        keep_results=False,
+    )
+    if args.traces:
+        _note(f"cell traces -> {args.traces}")
+    if args.report:
+        report.to_path(args.report)
+        _note(f"report -> {args.report}")
+    if args.digest:
+        print(report.digest())
+        return 0
+    print(render_matrix_report(report))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    trace = Trace.from_path(args.trace)
+    result = replay_trace(trace)
+    _emit(result.to_dict())
+    if args.expect:
+        expected = _load_json(args.expect)
+        if json.dumps(result.to_dict(), sort_keys=True) == \
+                json.dumps(expected, sort_keys=True):
+            _note("replay matches the expected result byte-for-byte")
+            return 0
+        _note("replay DIVERGED from the expected result")
+        return 1
+    return 0
+
+
+# -- entry point -------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full CLI parser (exposed for tests and ``--help`` rendering)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run, sweep and replay match-making workloads.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser(
+        "run", help="run one scenario spec (JSON) and print its result"
+    )
+    run_p.add_argument("spec", help="path to a ScenarioSpec JSON file")
+    run_p.add_argument(
+        "--trace", metavar="PATH",
+        help="record the run's trace as replayable JSONL",
+    )
+    run_p.add_argument(
+        "--out", metavar="PATH", help="also write the result dict to PATH"
+    )
+    run_p.set_defaults(handler=_cmd_run)
+
+    matrix_p = sub.add_parser(
+        "matrix", help="run a scenario-matrix grid (JSON), optionally sharded"
+    )
+    matrix_p.add_argument("spec", help="path to a MatrixSpec JSON file")
+    matrix_p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes (1 = sequential, 0 = one per CPU; default 1)",
+    )
+    matrix_p.add_argument(
+        "--report", metavar="PATH", help="write the MatrixReport JSON to PATH"
+    )
+    matrix_p.add_argument(
+        "--traces", metavar="DIR",
+        help="spool every cell's trace as DIR/cell-NNNN.jsonl",
+    )
+    matrix_p.add_argument(
+        "--digest", action="store_true",
+        help="print only the report's canonical SHA-256 digest",
+    )
+    matrix_p.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the progress/ETA line on stderr",
+    )
+    matrix_p.set_defaults(handler=_cmd_matrix)
+
+    replay_p = sub.add_parser(
+        "replay", help="re-execute a recorded trace (JSONL)"
+    )
+    replay_p.add_argument("trace", help="path to a trace .jsonl file")
+    replay_p.add_argument(
+        "--expect", metavar="PATH",
+        help="result dict JSON the replay must reproduce byte-for-byte",
+    )
+    replay_p.set_defaults(handler=_cmd_replay)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (
+        OSError, ValueError, KeyError, TypeError, MatchMakingError,
+    ) as error:
+        # Bad input of any shape — unreadable file, malformed JSON, spec
+        # validation, unknown strategy/topology — is exit 2, never a
+        # traceback; exit 1 stays reserved for --expect divergence.
+        _note(f"error: {error}")
+        return 2

@@ -1,0 +1,37 @@
+"""The parallel execution engine: sharded multi-process matrix runs.
+
+A scenario-matrix grid is embarrassingly parallel per cell — every cell's
+random streams derive from a stable hash of its grid coordinates, so no
+cell can observe another.  The only cross-cell state is deliberate: cells
+sharing a topology reuse one :class:`~repro.network.Network` (and its
+routing tables and delivery-plan caches) through ``reset_for_reuse``, which
+leaves per-cell *metrics* untouched but makes the warm-cache *counters*
+depend on which same-topology cells ran before.
+
+:class:`ExecutionPlan` therefore shards cells across worker processes with
+**topology affinity**: a topology's cells never split across shards and
+stay in grid expansion order, so each worker replays exactly the warm-up
+sequence the sequential engine would — which is what makes the merged
+:class:`~repro.workload.matrix.MatrixReport` byte-identical
+(:meth:`~repro.workload.matrix.MatrixReport.digest`) to a sequential run at
+any worker count.  Workers stream per-cell results into JSONL spool files;
+the parent polls the spools for progress/ETA and merges them by grid
+position.  ``python -m repro`` exposes the engine on the command line.
+"""
+
+from .plan import ExecutionPlan, IndexedCell, Shard
+from .progress import ProgressReporter
+from .runner import run_matrix_parallel
+from .spool import count_spooled, dump_spool_line, load_spool, shard_spool_path
+
+__all__ = [
+    "ExecutionPlan",
+    "IndexedCell",
+    "ProgressReporter",
+    "Shard",
+    "count_spooled",
+    "dump_spool_line",
+    "load_spool",
+    "run_matrix_parallel",
+    "shard_spool_path",
+]

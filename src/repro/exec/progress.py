@@ -1,0 +1,72 @@
+"""Progress and ETA reporting for long matrix runs.
+
+A :class:`ProgressReporter` is the ``progress(done, total)`` callback the
+execution engine accepts: it renders a single carriage-return-overwritten
+line with percentage, elapsed wall clock and a rate-based ETA.  Output is
+throttled so spool polling (several times a second) never floods a log,
+and the final update always lands with a newline.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+def format_seconds(seconds: float) -> str:
+    """Compact ``12s`` / ``3m04s`` / ``1h02m`` rendering."""
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, rest = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{rest:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressReporter:
+    """Callable progress sink: ``reporter(done, total)``."""
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        label: str = "cells",
+        min_interval: float = 0.1,
+    ) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._label = label
+        self._min_interval = min_interval
+        self._started: Optional[float] = None
+        self._last_emit = float("-inf")
+        self._last_done = -1
+        self._widest = 0
+
+    def __call__(self, done: int, total: int) -> None:
+        now = time.monotonic()
+        if self._started is None:
+            self._started = now
+        if done == self._last_done:
+            return
+        finished = total > 0 and done >= total
+        if now - self._last_emit < self._min_interval and not finished:
+            return
+        self._last_emit = now
+        self._last_done = done
+        elapsed = now - self._started
+        percent = (100 * done // total) if total else 100
+        if done and total and done < total:
+            eta = f" eta {format_seconds(elapsed * (total - done) / done)}"
+        else:
+            eta = ""
+        line = (
+            f"\r{self._label} {done}/{total} ({percent}%) "
+            f"elapsed {format_seconds(elapsed)}{eta}"
+        )
+        # Pad to the widest line so far, so a shrinking render (ETA column
+        # disappearing at 100%) never leaves stale characters behind.
+        self._widest = max(self._widest, len(line))
+        line = line.ljust(self._widest)
+        self._stream.write(line + ("\n" if finished else ""))
+        self._stream.flush()

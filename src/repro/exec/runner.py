@@ -1,0 +1,174 @@
+"""The process-pool matrix runner and its deterministic merge.
+
+Each shard runs in its own worker process (real parallelism — no GIL
+sharing) through :func:`_run_shard`, which is deliberately a thin loop
+around :func:`repro.workload.matrix.run_cell` and the same per-topology
+shared-network helper the sequential engine uses.  Workers stream each
+finished cell into their JSONL spool; the parent polls the spools while
+the pool drains (that is the progress/ETA feed) and then merges all spool
+records by grid position into a :class:`~repro.workload.matrix.MatrixReport`
+whose canonical JSON is byte-identical to the sequential run's.
+
+Payloads crossing the process boundary are plain picklable data:
+``(position, MatrixCell)`` pairs outbound, and — only when callers ask to
+keep full results — ``WorkloadResult`` objects inbound, which pickle
+cleanly because results never reference a live ``Network`` or planner.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..network.simulator import Network
+from ..workload.driver import WorkloadResult
+from ..workload.matrix import (
+    CellResult,
+    MatrixCell,
+    MatrixReport,
+    MatrixSpec,
+    run_cell,
+    shared_network_for,
+    write_cell_trace,
+)
+from .plan import ExecutionPlan
+from .spool import count_spooled, dump_spool_line, load_spool, shard_spool_path
+
+#: How often the parent polls spool files for progress while workers run.
+POLL_SECONDS = 0.2
+
+#: One shard's payload: everything a worker needs, all picklable.
+ShardPayload = Tuple[
+    int,                                # shard index
+    str,                                # spool file path
+    bool,                               # share_networks
+    bool,                               # keep_results
+    Optional[str],                      # trace_dir
+    Tuple[Tuple[int, MatrixCell], ...], # (position, cell) pairs
+]
+
+
+def _run_shard(
+    payload: ShardPayload,
+) -> Tuple[int, List[Tuple[int, WorkloadResult]]]:
+    """Worker entry point: run one shard's cells, spooling as they finish.
+
+    Top-level (not a closure) so it pickles under the ``spawn`` start
+    method as well as ``fork``.  Cells execute in the given order over
+    per-topology shared networks — the exact warm-up sequence the
+    sequential engine produces for these cells.
+    """
+    shard_index, spool_path, share_networks, keep_results, trace_dir, cells = (
+        payload
+    )
+    networks: Dict[str, Network] = {}
+    kept: List[Tuple[int, WorkloadResult]] = []
+    with open(spool_path, "w", encoding="utf-8") as fp:
+        for position, cell in cells:
+            network: Optional[Network] = None
+            if share_networks:
+                network = shared_network_for(networks, cell.spec)
+            cell_result, result = run_cell(cell, network=network)
+            fp.write(dump_spool_line(position, cell_result))
+            fp.flush()  # stream: the parent polls for progress
+            if trace_dir is not None:
+                write_cell_trace(trace_dir, position, result)
+            if keep_results:
+                kept.append((position, result))
+    return shard_index, kept
+
+
+def run_matrix_parallel(
+    matrix: MatrixSpec,
+    workers: Optional[int] = None,
+    share_networks: bool = True,
+    keep_results: bool = False,
+    progress: Optional[Callable[[int, int], None]] = None,
+    trace_dir=None,
+    spool_dir=None,
+) -> Tuple[MatrixReport, List[WorkloadResult]]:
+    """Run ``matrix`` across worker processes; merge deterministically.
+
+    The report is byte-identical (:meth:`MatrixReport.digest`) to
+    ``run_matrix(matrix, share_networks=share_networks)`` at any worker
+    count.  ``workers=0``/``None`` means one per CPU; grids that plan to a
+    single shard run sequentially in-process (no pool overhead).  Pass
+    ``spool_dir`` to keep the JSONL spool files; by default they live in a
+    temporary directory removed after the merge.
+    """
+    from ..workload.matrix import run_matrix  # local: avoids import cycle
+
+    plan = ExecutionPlan.from_matrix(matrix, workers or 0)
+    if len(plan.shards) <= 1:
+        report, results = run_matrix(
+            matrix,
+            share_networks=share_networks,
+            keep_results=keep_results,
+            progress=progress,
+            trace_dir=trace_dir,
+        )
+        if spool_dir is not None:
+            # Honour the requested artifact even when the grid collapsed to
+            # one in-process shard: same file name, same line format.
+            spool_root = Path(spool_dir)
+            spool_root.mkdir(parents=True, exist_ok=True)
+            with open(
+                shard_spool_path(spool_root, 0), "w", encoding="utf-8"
+            ) as fp:
+                for position, cell_result in enumerate(report.cells):
+                    fp.write(dump_spool_line(position, cell_result))
+        return report, results
+    own_spool = spool_dir is None
+    spool_root = Path(
+        tempfile.mkdtemp(prefix="repro-spool-") if own_spool else spool_dir
+    )
+    spool_root.mkdir(parents=True, exist_ok=True)
+    spool_paths = [
+        shard_spool_path(spool_root, shard.index) for shard in plan.shards
+    ]
+    payloads: List[ShardPayload] = [
+        (
+            shard.index,
+            str(shard_spool_path(spool_root, shard.index)),
+            share_networks,
+            keep_results,
+            str(trace_dir) if trace_dir is not None else None,
+            tuple((indexed.position, indexed.cell) for indexed in shard.cells),
+        )
+        for shard in plan.shards
+    ]
+    total = plan.cell_count
+    kept: Dict[int, WorkloadResult] = {}
+    try:
+        with ProcessPoolExecutor(max_workers=len(plan.shards)) as pool:
+            pending = {pool.submit(_run_shard, payload) for payload in payloads}
+            while pending:
+                done, pending = wait(
+                    pending, timeout=POLL_SECONDS, return_when=FIRST_COMPLETED
+                )
+                if progress is not None:
+                    progress(min(count_spooled(spool_paths), total), total)
+                for future in done:
+                    _, shard_kept = future.result()  # reraise worker errors
+                    kept.update(shard_kept)
+        if progress is not None:
+            progress(total, total)
+        merged: Dict[int, CellResult] = {}
+        for path in spool_paths:
+            merged.update(load_spool(path))
+        if sorted(merged) != list(range(total)):
+            missing = sorted(set(range(total)) - set(merged))
+            raise RuntimeError(
+                f"parallel merge incomplete: spool is missing cells {missing}"
+            )
+        cells = [merged[position] for position in range(total)]
+    finally:
+        if own_spool:
+            shutil.rmtree(spool_root, ignore_errors=True)
+    results = [kept[position] for position in sorted(kept)] if keep_results \
+        else []
+    report = MatrixReport(matrix.to_dict(), cells, plan.skipped)
+    return report, results

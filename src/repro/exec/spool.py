@@ -1,0 +1,57 @@
+"""JSONL result spools: workers stream cells out, the parent merges.
+
+Each shard owns one append-only spool file; every completed cell becomes
+one self-contained JSON line tagged with its grid position.  The parent
+counts complete lines for live progress (a line is only counted once its
+newline landed, so a worker caught mid-write never yields a torn record)
+and, after the pool drains, loads every spool and sorts by position — that
+sort *is* the deterministic merge.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from ..workload.matrix import CellResult
+
+
+def shard_spool_path(directory, shard_index: int) -> Path:
+    """Where shard ``shard_index`` spools its results."""
+    return Path(directory) / f"shard-{shard_index:03d}.jsonl"
+
+
+def dump_spool_line(position: int, cell_result: CellResult) -> str:
+    """One cell as one newline-terminated JSON record."""
+    record = {"position": position, "cell": cell_result.to_dict()}
+    return json.dumps(record, sort_keys=True) + "\n"
+
+
+def load_spool(path) -> List[Tuple[int, CellResult]]:
+    """Read every complete record of one spool file."""
+    entries: List[Tuple[int, CellResult]] = []
+    with open(path, "r", encoding="utf-8") as fp:
+        for line in fp:
+            if not line.endswith("\n"):
+                break  # torn final record: writer died mid-line
+            record = json.loads(line)
+            entries.append(
+                (int(record["position"]), CellResult.from_dict(record["cell"]))
+            )
+    return entries
+
+
+def count_spooled(paths: Iterable) -> int:
+    """Complete records across ``paths`` (missing files count zero).
+
+    Cheap enough to poll: spools hold one short line per matrix cell.
+    """
+    done = 0
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as fp:
+                done += sum(1 for line in fp if line.endswith("\n"))
+        except FileNotFoundError:
+            continue
+    return done

@@ -16,7 +16,11 @@ timelines (crash/recover waves, link flaps, region partitions, correlated
 failures) that advance the fault-plan revision mid-run, and the
 scenario-matrix engine (:class:`MatrixSpec` / :func:`run_matrix`) expands
 topology × strategy × fault-regime grids into cells that share one network
-per topology and aggregate into a comparable :class:`MatrixReport`.
+per topology and aggregate into a comparable :class:`MatrixReport`.  Every
+cell's random streams derive from a stable hash of its grid coordinates
+(:func:`stable_seed`), so ``run_matrix(..., workers=N)`` can shard the grid
+across worker processes (see :mod:`repro.exec`) and merge a report
+byte-identical to the sequential run.
 
 Quick start::
 
@@ -59,7 +63,15 @@ from .driver import (
     run_scenario,
     workload_table,
 )
-from .matrix import CellResult, MatrixCell, MatrixReport, MatrixSpec, run_matrix
+from .matrix import (
+    CellResult,
+    MatrixCell,
+    MatrixReport,
+    MatrixSpec,
+    run_cell,
+    run_matrix,
+    write_cell_trace,
+)
 from .metrics import HopHistogram, WorkloadMetrics
 from .popularity import (
     MovingHotspotPopularity,
@@ -76,9 +88,10 @@ from .spec import (
     build_fault_timeline,
     build_strategy,
     build_topology,
+    stable_seed,
     strategy_names,
 )
-from .trace import Trace, TraceOp
+from .trace import Trace, TraceOp, canonical_digest
 
 __all__ = [
     "ArrivalProcess",
@@ -114,10 +127,14 @@ __all__ = [
     "build_fault_timeline",
     "build_strategy",
     "build_topology",
+    "canonical_digest",
     "compare_under_load",
     "replay_trace",
+    "run_cell",
     "run_matrix",
     "run_scenario",
+    "stable_seed",
     "strategy_names",
     "workload_table",
+    "write_cell_trace",
 ]

@@ -59,6 +59,7 @@ from .trace import (
     STORM,
     Trace,
     TraceOp,
+    canonical_digest,
 )
 
 
@@ -106,6 +107,15 @@ class WorkloadResult:
             "summary": self.summary(),
             "trace_ops": self.trace.operation_counts(),
         }
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical :meth:`to_dict` JSON.
+
+        Two digests match iff the runs are byte-identical in every
+        deterministic respect — the comparison ``python -m repro replay
+        --expect`` and the cross-process replay tests make.
+        """
+        return canonical_digest(self.to_dict())
 
 
 class _RunState:

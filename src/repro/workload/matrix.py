@@ -18,6 +18,13 @@ plan caches stay warm across cells.  The driver resets the shared network
 before each run, so every cell's metrics are byte-identical to a run on a
 fresh network (and to a replay of its recorded trace).
 
+Every cell's seed derives from a stable hash of its grid coordinates
+(:func:`~repro.workload.spec.stable_seed`), never from draw order, so a
+cell's random streams are identical no matter which order — or which worker
+process — runs it.  ``run_matrix(..., workers=N)`` hands the grid to the
+parallel execution engine (:mod:`repro.exec`), whose merged report is
+byte-identical to the sequential run (:meth:`MatrixReport.digest`).
+
 The per-cell results aggregate into a :class:`MatrixReport`: hop
 percentiles, cache hit rate, plan-cache hit rate and availability under
 faults, sliceable by strategy, topology or fault regime, with JSON
@@ -27,8 +34,9 @@ persistence for benchmark trajectories.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.exceptions import StrategyError
 from ..network.delivery import plan_hit_rates
@@ -42,7 +50,9 @@ from .spec import (
     ScenarioSpec,
     build_strategy,
     build_topology,
+    stable_seed,
 )
+from .trace import canonical_digest
 
 
 def _regime_labels(regimes: Sequence[FaultRegimeSpec]) -> List[str]:
@@ -63,13 +73,15 @@ class MatrixCell:
 
     ``regime`` is the axis label (uniquified when the same regime kind
     appears twice on the axis), so reports can group duplicate kinds
-    separately.
+    separately.  ``key`` is the coordinate string (without the matrix name)
+    the cell's seed was derived from.
     """
 
     spec: ScenarioSpec
     topology: str
     strategy: str
     regime: str
+    key: str = ""
 
 
 @dataclass(frozen=True)
@@ -149,6 +161,10 @@ class MatrixSpec:
                                     parts.append(f"p{p}")
                                 if len(churns) > 1:
                                     parts.append(f"c{c}")
+                                # The cell key is the coordinate string minus
+                                # the matrix name, so renaming a grid keeps
+                                # every cell's seed (and therefore results).
+                                key = "/".join(parts[1:])
                                 spec = replace(
                                     self.base,
                                     name="/".join(parts),
@@ -158,27 +174,78 @@ class MatrixSpec:
                                     arrival=arrival,
                                     popularity=popularity,
                                     churn=churn,
+                                    seed=stable_seed(self.base.seed, key),
                                 )
                                 cells.append(MatrixCell(
                                     spec=spec,
                                     topology=topology_name,
                                     strategy=strategy_name,
                                     regime=regime_label,
+                                    key=key,
                                 ))
         return cells, skipped
 
     def to_dict(self) -> Dict[str, object]:
-        """A JSON-safe description of the grid."""
+        """A JSON-safe, full-fidelity description of the grid.
+
+        Round-trips through :meth:`from_dict`, so a grid can be written as a
+        JSON file and handed to ``python -m repro matrix``; the derived
+        ``regime_labels`` and ``cell_count`` ride along for report readers
+        and are ignored on the way back in.
+        """
         return {
             "name": self.name,
             "topologies": list(self.topologies),
             "strategies": list(self.strategies),
-            "fault_regimes": [
-                regime.label for regime in self.fault_regimes
-            ],
+            "fault_regimes": [asdict(regime) for regime in self.fault_regimes],
+            "regime_labels": _regime_labels(self.fault_regimes),
             "base": self.base.to_dict(),
+            "arrivals": [asdict(arrival) for arrival in self.arrivals],
+            "popularities": [asdict(pop) for pop in self.popularities],
+            "churns": [asdict(churn) for churn in self.churns],
             "cell_count": self.cell_count,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MatrixSpec":
+        """Rebuild a grid from :meth:`to_dict` output (or a hand-written
+        JSON spec; every field defaults).
+
+        Unknown keys are rejected rather than defaulted over — a typoed
+        axis name (``"topologys"``) must fail loudly, not silently run the
+        default grid.  The derived ``regime_labels``/``cell_count`` that
+        :meth:`to_dict` emits are tolerated and ignored.
+        """
+        known = {
+            "name", "topologies", "strategies", "fault_regimes", "base",
+            "arrivals", "popularities", "churns",
+            "regime_labels", "cell_count",  # derived, to_dict round-trip
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown MatrixSpec key(s) {unknown}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(
+            name=str(data.get("name", "matrix")),
+            topologies=tuple(data.get("topologies", ("complete:16",))),
+            strategies=tuple(data.get("strategies", ("checkerboard",))),
+            fault_regimes=tuple(
+                FaultRegimeSpec(**regime)
+                for regime in data.get("fault_regimes", ({},))
+            ),
+            base=ScenarioSpec.from_dict(dict(data.get("base", {}))),
+            arrivals=tuple(
+                ArrivalSpec(**arrival) for arrival in data.get("arrivals", ())
+            ),
+            popularities=tuple(
+                PopularitySpec(**pop) for pop in data.get("popularities", ())
+            ),
+            churns=tuple(
+                ChurnSpec(**churn) for churn in data.get("churns", ())
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -343,6 +410,29 @@ class MatrixReport:
             "availability_floor": round(self.availability_floor(), 4),
         }
 
+    def canonical_dict(self) -> Dict[str, object]:
+        """:meth:`to_dict` with every nondeterministic field neutralized.
+
+        Per-cell wall seconds are the only nondeterministic content a report
+        carries; zeroing them leaves exactly the bytes that must match
+        between a sequential run and any sharded parallel run of the same
+        grid.
+        """
+        data = self.to_dict()
+        for cell in data["cells"]:
+            cell["wall_seconds"] = 0.0
+        return data
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON — the parallel-merge oracle.
+
+        Equal digests mean byte-identical reports (modulo wall clock): same
+        grid, same cells in the same order, same metrics, same plan-cache
+        counters.  The E18 benchmark and CI pin sequential == parallel with
+        this.
+        """
+        return canonical_digest(self.canonical_dict())
+
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "MatrixReport":
         """Rebuild a report from :meth:`to_dict` output (aggregates are
@@ -372,10 +462,62 @@ class MatrixReport:
         )
 
 
+def run_cell(
+    cell: MatrixCell, network: Optional[Network] = None
+) -> Tuple[CellResult, WorkloadResult]:
+    """Execute one expanded cell (the sequential loop and every parallel
+    worker both land here, so the two paths cannot drift)."""
+    result = WorkloadDriver(cell.spec, network=network).run()
+    cell_result = CellResult(
+        topology=cell.topology,
+        strategy=cell.strategy,
+        regime=cell.regime,
+        summary=result.summary(),
+        plan_cache=result.plan_cache,
+        wall_seconds=result.wall_seconds,
+    )
+    return cell_result, result
+
+
+def write_cell_trace(trace_dir, position: int, result: WorkloadResult) -> Path:
+    """Persist one cell's trace as ``cell-NNNN.jsonl`` under ``trace_dir``.
+
+    ``position`` is the cell's grid expansion index, so sequential and
+    sharded runs of the same grid write identical file sets; any file
+    replays on its own through ``python -m repro replay``.
+    """
+    directory = Path(trace_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"cell-{position:04d}.jsonl"
+    result.trace.to_path(path)
+    return path
+
+
+def shared_network_for(
+    networks: Dict[str, Network], spec: ScenarioSpec
+) -> Network:
+    """The per-topology shared network for ``spec``, built on first use.
+
+    The driver resets it before every run, so sharing never changes a
+    cell's metrics — it only amortizes the O(n²) routing construction and
+    keeps fault-free delivery-plan caches warm across same-topology cells.
+    """
+    network = networks.get(spec.topology)
+    if network is None:
+        network = build_topology(spec.topology).build_network(
+            delivery_mode=spec.delivery_mode
+        )
+        networks[spec.topology] = network
+    return network
+
+
 def run_matrix(
     matrix: MatrixSpec,
     share_networks: bool = True,
     keep_results: bool = False,
+    workers: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    trace_dir=None,
 ) -> Tuple[MatrixReport, List[WorkloadResult]]:
     """Execute every cell of ``matrix`` and aggregate the results.
 
@@ -384,31 +526,41 @@ def run_matrix(
     :class:`~repro.workload.driver.WorkloadResult` objects (with traces) are
     only retained when ``keep_results`` is set — a large grid's traces can
     dwarf the report.
+
+    ``workers`` > 1 dispatches the grid through the parallel execution
+    engine (:mod:`repro.exec`): cells shard across worker processes with
+    topology affinity and the merged report is byte-identical (see
+    :meth:`MatrixReport.digest`) to this function's sequential output;
+    ``workers=0`` means one worker per CPU.  ``progress`` is called as
+    ``progress(done_cells, total_cells)`` while the grid runs, and
+    ``trace_dir`` spools every cell's trace as a replayable JSONL file.
     """
+    if workers is not None and workers != 1:
+        from ..exec.runner import run_matrix_parallel
+
+        return run_matrix_parallel(
+            matrix,
+            workers=workers,
+            share_networks=share_networks,
+            keep_results=keep_results,
+            progress=progress,
+            trace_dir=trace_dir,
+        )
     cells, skipped = matrix.expand()
     networks: Dict[str, Network] = {}
     cell_results: List[CellResult] = []
     results: List[WorkloadResult] = []
-    for cell in cells:
-        spec = cell.spec
+    for position, cell in enumerate(cells):
         network: Optional[Network] = None
         if share_networks:
-            network = networks.get(spec.topology)
-            if network is None:
-                network = build_topology(spec.topology).build_network(
-                    delivery_mode=spec.delivery_mode
-                )
-                networks[spec.topology] = network
-        result = WorkloadDriver(spec, network=network).run()
-        cell_results.append(CellResult(
-            topology=cell.topology,
-            strategy=cell.strategy,
-            regime=cell.regime,
-            summary=result.summary(),
-            plan_cache=result.plan_cache,
-            wall_seconds=result.wall_seconds,
-        ))
+            network = shared_network_for(networks, cell.spec)
+        cell_result, result = run_cell(cell, network=network)
+        cell_results.append(cell_result)
+        if trace_dir is not None:
+            write_cell_trace(trace_dir, position, result)
         if keep_results:
             results.append(result)
+        if progress is not None:
+            progress(position + 1, len(cells))
     report = MatrixReport(matrix.to_dict(), cell_results, skipped)
     return report, results

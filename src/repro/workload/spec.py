@@ -14,6 +14,7 @@ The spec layer also owns the name-to-object resolvers ``build_topology`` and
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, Hashable, Iterable, List
@@ -272,6 +273,21 @@ class ScenarioSpec:
         # Traces recorded before fault regimes existed have no "faults" key.
         payload["faults"] = FaultRegimeSpec(**payload.get("faults", {}))
         return cls(**payload)
+
+
+# -- seed derivation ---------------------------------------------------------------
+
+def stable_seed(master_seed: int, key: str) -> int:
+    """A deterministic, process-independent seed for ``key``.
+
+    SHA-256 over ``master_seed/key``, truncated to 63 bits — stable across
+    interpreter invocations, hash randomization and platforms, unlike
+    ``hash()``.  The matrix engine seeds every cell from its grid
+    coordinates this way, so neither cell execution order nor the worker
+    count that ran a cell can ever influence its random streams.
+    """
+    digest = hashlib.sha256(f"{master_seed}/{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
 
 
 # -- name resolution ---------------------------------------------------------------

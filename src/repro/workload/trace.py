@@ -14,6 +14,8 @@ surprising result travels between machines.
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
 from dataclasses import dataclass
 from typing import Dict, IO, Iterator, List, Optional, Sequence, Tuple
@@ -36,6 +38,20 @@ OP_KINDS = (
     REQUEST, MIGRATE, CRASH, RECOVER, RESPAWN, STORM,
     FAULT_CRASH, FAULT_RECOVER, LINK_DOWN, LINK_UP,
 )
+
+
+def canonical_digest(payload) -> str:
+    """SHA-256 hex digest of ``payload``'s canonical bytes.
+
+    Strings are hashed as-is; anything else is hashed as its sorted-keys
+    JSON.  Every "byte-identical" comparison in the workload layer
+    (``Trace.digest``, ``WorkloadResult.digest``,
+    ``MatrixReport.digest``) funnels through here, so the canonical form
+    cannot drift between artifact types.
+    """
+    if not isinstance(payload, str):
+        payload = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -127,6 +143,19 @@ class Trace:
             if line.strip():
                 trace.append(TraceOp.from_dict(json.loads(line)))
         return trace
+
+    def digest(self) -> str:
+        """SHA-256 over the serialized stream — trace identity in one
+        string.
+
+        Two traces with equal digests serialize to the same bytes: same
+        scenario header, same operations in the same order.  Used to pin
+        that a trace recorded inside a worker process is exactly the trace
+        the parent merges.
+        """
+        buffer = io.StringIO()
+        self.dump(buffer)
+        return canonical_digest(buffer.getvalue())
 
     def to_path(self, path) -> None:
         """Write the trace to ``path`` as JSON lines."""

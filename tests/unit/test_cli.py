@@ -1,0 +1,149 @@
+"""The ``python -m repro`` command line: run, matrix, replay.
+
+Each subcommand is exercised through ``repro.cli.main`` with real files in
+a temp directory: specs load from JSON, results and reports land where
+asked, the replay verifier distinguishes byte-exact from diverged, and
+bad input exits 2 instead of tracebacking.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.workload import (
+    ArrivalSpec,
+    MatrixReport,
+    MatrixSpec,
+    ScenarioSpec,
+    FaultRegimeSpec,
+    run_matrix,
+    run_scenario,
+)
+
+SPEC = ScenarioSpec(
+    name="cli", topology="manhattan:3", strategy="manhattan",
+    operations=60, clients=3, servers=3, ports=2,
+    delivery_mode="unicast", seed=31,
+    arrival=ArrivalSpec(kind="poisson", rate=300.0),
+    faults=FaultRegimeSpec(kind="flaps", events=2, start=0.1, period=0.2,
+                           downtime=0.1),
+)
+
+MATRIX = MatrixSpec(
+    name="cli-grid",
+    topologies=("complete:9", "manhattan:3"),
+    strategies=("checkerboard",),
+    fault_regimes=(FaultRegimeSpec(),),
+    base=ScenarioSpec(
+        operations=40, clients=3, servers=3, ports=2,
+        delivery_mode="unicast", seed=7,
+        arrival=ArrivalSpec(kind="poisson", rate=300.0),
+    ),
+)
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC.to_dict()))
+    return path
+
+
+@pytest.fixture
+def matrix_file(tmp_path):
+    path = tmp_path / "grid.json"
+    path.write_text(json.dumps(MATRIX.to_dict()))
+    return path
+
+
+class TestRun:
+    def test_prints_result_and_writes_artifacts(
+        self, spec_file, tmp_path, capsys
+    ):
+        trace = tmp_path / "trace.jsonl"
+        out = tmp_path / "result.json"
+        assert main([
+            "run", str(spec_file), "--trace", str(trace), "--out", str(out),
+        ]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed == run_scenario(SPEC).to_dict()
+        assert json.loads(out.read_text()) == printed
+        assert trace.exists()
+
+    def test_spec_round_trips_through_json(self, spec_file):
+        assert ScenarioSpec.from_dict(
+            json.loads(spec_file.read_text())
+        ) == SPEC
+
+
+class TestMatrix:
+    def test_digest_mode_matches_engine(self, matrix_file, capsys):
+        assert main([
+            "matrix", str(matrix_file), "--digest", "--no-progress",
+        ]) == 0
+        report, _ = run_matrix(MATRIX)
+        assert capsys.readouterr().out.strip() == report.digest()
+
+    def test_report_file_and_tables(self, matrix_file, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        assert main([
+            "matrix", str(matrix_file), "--workers", "2",
+            "--report", str(report_path), "--no-progress",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "== by strategy ==" in output
+        assert "availability floor" in output
+        loaded = MatrixReport.from_path(report_path)
+        expected, _ = run_matrix(MATRIX)
+        assert loaded.digest() == expected.digest()
+
+    def test_matrix_spec_round_trips_through_json(self, matrix_file):
+        assert MatrixSpec.from_dict(
+            json.loads(matrix_file.read_text())
+        ) == MATRIX
+
+
+class TestReplay:
+    def test_expect_verifies_byte_exact(self, spec_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        out = tmp_path / "result.json"
+        main(["run", str(spec_file), "--trace", str(trace),
+              "--out", str(out)])
+        capsys.readouterr()
+        assert main([
+            "replay", str(trace), "--expect", str(out),
+        ]) == 0
+        assert json.loads(capsys.readouterr().out) == \
+            json.loads(out.read_text())
+
+    def test_expect_divergence_exits_one(self, spec_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        out = tmp_path / "result.json"
+        main(["run", str(spec_file), "--trace", str(trace),
+              "--out", str(out)])
+        tampered = json.loads(out.read_text())
+        tampered["summary"]["successes"] += 1
+        out.write_text(json.dumps(tampered))
+        capsys.readouterr()
+        assert main(["replay", str(trace), "--expect", str(out)]) == 1
+
+
+class TestErrors:
+    def test_missing_file_exits_two(self, tmp_path):
+        assert main(["run", str(tmp_path / "nope.json")]) == 2
+
+    def test_invalid_spec_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"operations": 0}))
+        assert main(["run", str(bad)]) == 2
+
+    def test_unknown_strategy_exits_two_not_traceback(self, tmp_path):
+        # StrategyError is a MatchMakingError, not a ValueError; the CLI
+        # must still classify it as bad input (exit 2, not a traceback, and
+        # never exit 1 — that means --expect divergence).
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(
+            {**SPEC.to_dict(), "strategy": "no-such-strategy"}
+        ))
+        assert main(["run", str(bad)]) == 2

@@ -131,6 +131,28 @@ class TestMatrixExpansion:
         with pytest.raises(ValueError):
             small_matrix(strategies=())
 
+    def test_matrix_spec_round_trips_through_json(self):
+        matrix = small_matrix(churns=(ChurnSpec(),
+                                      ChurnSpec(kind="migration", rate=1.0)))
+        rebuilt = MatrixSpec.from_dict(json.loads(json.dumps(matrix.to_dict())))
+        assert rebuilt == matrix
+        assert [c.spec for c in rebuilt.expand()[0]] == \
+            [c.spec for c in matrix.expand()[0]]
+
+    def test_matrix_spec_rejects_unknown_keys(self):
+        payload = small_matrix().to_dict()
+        payload["topologys"] = payload.pop("topologies")  # the typo case
+        with pytest.raises(ValueError, match="unknown MatrixSpec key"):
+            MatrixSpec.from_dict(payload)
+
+    def test_cell_seeds_derive_from_coordinates(self):
+        cells, _ = small_matrix().expand()
+        seeds = {cell.spec.seed for cell in cells}
+        assert len(seeds) == len(cells)  # one independent stream per cell
+        # and they are reproducible, not draw-order dependent:
+        assert [c.spec.seed for c in small_matrix().expand()[0]] == \
+            [c.spec.seed for c in cells]
+
 
 class TestSharedNetworks:
     def test_driver_rejects_mismatched_network(self):
