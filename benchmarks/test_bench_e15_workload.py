@@ -15,6 +15,7 @@ from pathlib import Path
 
 from repro.core.matchmaker import MatchMaker
 from repro.core.types import Port
+from repro.obs import host_metadata
 from repro.network.simulator import Network
 from repro.strategies import CheckerboardStrategy
 from repro.topologies import CompleteTopology
@@ -186,6 +187,7 @@ def test_bench_e15_workload(benchmark, record):
     payload = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
     payload.update({
         "experiment": "e15-workload",
+        "host": host_metadata(),
         "scenario": scale_spec().to_dict(),
         "strategies": {
             result.spec.strategy: {

@@ -23,6 +23,7 @@ import time
 from pathlib import Path
 
 from repro.network.broadcast import unicast
+from repro.obs import host_metadata
 from repro.network.simulator import Network
 from repro.network.stats import POST
 from repro.strategies import ManhattanStrategy
@@ -198,6 +199,7 @@ def test_bench_e16_delivery(benchmark, record):
         )
         existing["delivery_planner"] = {
             "experiment": "e16-delivery",
+            "host": host_metadata(),
             "scenario": faulted_workload_spec().to_dict(),
             "stream": {
                 "messages": stream["messages"],

@@ -25,6 +25,7 @@ import json
 import os
 from pathlib import Path
 
+from repro.obs import host_metadata
 from repro.workload import (
     ArrivalSpec,
     FaultRegimeSpec,
@@ -161,6 +162,7 @@ def test_bench_e17_matrix(benchmark, record):
         payload = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
         payload["matrix"] = {
             "experiment": "e17-matrix",
+            "host": host_metadata(),
             "report": shared_report.to_dict(),
             "report_digest": shared_report.digest(),
             "plan_misses_shared": shared_misses,

@@ -27,6 +27,7 @@ import os
 import time
 from pathlib import Path
 
+from repro.obs import host_metadata
 from repro.workload import (
     ArrivalSpec,
     FaultRegimeSpec,
@@ -122,6 +123,7 @@ def test_bench_e18_parallel(benchmark, record):
         payload = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
         payload["parallel"] = {
             "experiment": "e18-parallel",
+            "host": host_metadata(workers=WORKERS),
             "cells": len(sequential),
             "workers": WORKERS,
             "cpus": os.cpu_count(),

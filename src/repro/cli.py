@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line: run, sweep, replay — reproducibly.
 
-Three subcommands wrap the workload and execution engines for shell use:
+Four subcommands wrap the workload and execution engines for shell use:
 
 ``run spec.json``
     execute one :class:`~repro.workload.spec.ScenarioSpec`, print its
@@ -11,7 +11,11 @@ Three subcommands wrap the workload and execution engines for shell use:
     progress/ETA on stderr and the per-cell/per-axis tables on stdout;
 ``replay trace.jsonl``
     re-execute a recorded trace and, with ``--expect``, verify the replay
-    reproduces a previously saved result byte-for-byte.
+    reproduces a previously saved result byte-for-byte;
+``obs summarize/diff``
+    inspect the observability export a ``--obs DIR`` run wrote: merged
+    metric totals, span-derived hop breakdowns, per-worker phase profiles,
+    and numeric deltas between two exports.
 
 Everything machine-readable goes to stdout, progress and notes to stderr,
 so ``python -m repro ... > out.json`` composes in pipelines.  Exit status
@@ -28,6 +32,19 @@ from typing import List, Optional
 from .analysis import render_matrix_report
 from .core.exceptions import MatchMakingError
 from .exec.progress import ProgressReporter
+from .obs import (
+    SpanRecorder,
+    cell_span_path,
+    dump_metrics_line,
+    export_dir,
+    metrics_path,
+)
+from .obs.tools import (
+    diff_exports,
+    render_diff,
+    render_summary,
+    summarize_export,
+)
 from .workload import (
     MatrixSpec,
     ScenarioSpec,
@@ -56,7 +73,22 @@ def _note(message: str) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = ScenarioSpec.from_dict(_load_json(args.spec))
-    result = run_scenario(spec)
+    tracer = SpanRecorder() if args.obs else None
+    result = run_scenario(spec, tracer=tracer)
+    if args.obs:
+        obs_path = export_dir(args.obs)
+        tracer.to_path(cell_span_path(obs_path, 0))
+        with open(metrics_path(obs_path), "w", encoding="utf-8") as fp:
+            fp.write(dump_metrics_line(
+                0,
+                {
+                    "name": spec.name,
+                    "topology": spec.topology,
+                    "strategy": spec.strategy,
+                },
+                result.metrics.registry,
+            ))
+        _note(f"observability export ({len(tracer)} spans) -> {args.obs}")
     if args.trace:
         result.trace.to_path(args.trace)
         _note(f"trace ({len(result.trace)} ops) -> {args.trace}")
@@ -78,9 +110,13 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         progress=progress,
         trace_dir=args.traces,
         keep_results=False,
+        obs_dir=args.obs,
+        profile=args.profile,
     )
     if args.traces:
         _note(f"cell traces -> {args.traces}")
+    if args.obs:
+        _note(f"observability export -> {args.obs}")
     if args.report:
         report.to_path(args.report)
         _note(f"report -> {args.report}")
@@ -88,6 +124,22 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         print(report.digest())
         return 0
     print(render_matrix_report(report))
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "summarize":
+        summary = summarize_export(args.dir)
+        if args.json:
+            _emit(summary)
+        else:
+            print(render_summary(summary))
+        return 0
+    diff = diff_exports(args.dir_a, args.dir_b)
+    if args.json:
+        _emit(diff)
+    else:
+        print(render_diff(diff))
     return 0
 
 
@@ -127,6 +179,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--out", metavar="PATH", help="also write the result dict to PATH"
     )
+    run_p.add_argument(
+        "--obs", metavar="DIR",
+        help="write the run's span tree and metrics registry under DIR",
+    )
     run_p.set_defaults(handler=_cmd_run)
 
     matrix_p = sub.add_parser(
@@ -152,7 +208,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-progress", action="store_true",
         help="suppress the progress/ETA line on stderr",
     )
+    matrix_p.add_argument(
+        "--obs", metavar="DIR",
+        help="write per-cell span trees and metrics (JSONL) under DIR",
+    )
+    matrix_p.add_argument(
+        "--profile", action="store_true",
+        help="time run phases (wall clock) and add a profile section to "
+             "the report — never part of the digest",
+    )
     matrix_p.set_defaults(handler=_cmd_matrix)
+
+    obs_p = sub.add_parser(
+        "obs", help="inspect an observability export written with --obs"
+    )
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    summarize_p = obs_sub.add_parser(
+        "summarize",
+        help="merged metric totals, span hop breakdowns, phase profiles",
+    )
+    summarize_p.add_argument("dir", help="export directory (from --obs)")
+    summarize_p.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    summarize_p.set_defaults(handler=_cmd_obs)
+    diff_p = obs_sub.add_parser(
+        "diff", help="numeric metric/span deltas between two exports (b - a)"
+    )
+    diff_p.add_argument("dir_a", help="baseline export directory")
+    diff_p.add_argument("dir_b", help="comparison export directory")
+    diff_p.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    diff_p.set_defaults(handler=_cmd_obs)
 
     replay_p = sub.add_parser(
         "replay", help="re-execute a recorded trace (JSONL)"

@@ -24,6 +24,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from ..network.simulator import Network
 from ..network.stats import POST, QUERY
+from ..obs.spans import active_tracer
 from .exceptions import ServiceNotFoundError
 from .strategy import MatchMakingStrategy
 from .types import Address, MatchResult, Port
@@ -216,13 +217,28 @@ class MatchMaker:
         when no queried node knew an address (e.g. no server registered, or
         all rendezvous nodes crashed).
         """
+        tracer = active_tracer()
+        locate_span = None
+        if tracer is not None:
+            locate_span = tracer.begin("locate", nodes_queried=0)
         targets = self.query_set(client_node, port)
+        if tracer is not None:
+            # The rendezvous resolution itself: Q(j) materialized against
+            # the strategy (memoized after first use).
+            tracer.event("rendezvous-resolve", nodes=len(targets))
         before_query = self._network.stats.hops_for(QUERY)
         outcome = self._network.query(
             client_node, port, targets, mode=self._mode, collect_all=collect_all
         )
         query_hops = self._network.stats.hops_for(QUERY) - before_query
         freshest = outcome.freshest()
+        if tracer is not None:
+            tracer.end(
+                locate_span,
+                nodes_queried=len(targets),
+                found=freshest is not None,
+                hops=query_hops + outcome.reply_hops,
+            )
         return MatchResult(
             found=freshest is not None,
             address=freshest.address if freshest else None,

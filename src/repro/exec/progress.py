@@ -5,6 +5,11 @@ execution engine accepts: it renders a single carriage-return-overwritten
 line with percentage, elapsed wall clock and a rate-based ETA.  Output is
 throttled so spool polling (several times a second) never floods a log,
 and the final update always lands with a newline.
+
+When the stream is not a terminal (CI logs, ``2> progress.log``), the
+in-place ``\\r`` rewrite would smear every update onto one unreadable
+line; the reporter detects that and emits plain newline-delimited
+updates instead, throttled harder so captured logs stay short.
 """
 
 from __future__ import annotations
@@ -29,6 +34,9 @@ def format_seconds(seconds: float) -> str:
 class ProgressReporter:
     """Callable progress sink: ``reporter(done, total)``."""
 
+    #: Non-TTY throttle: one line per this many seconds is plenty for a log.
+    PLAIN_INTERVAL = 1.0
+
     def __init__(
         self,
         stream: Optional[TextIO] = None,
@@ -37,6 +45,12 @@ class ProgressReporter:
     ) -> None:
         self._stream = stream if stream is not None else sys.stderr
         self._label = label
+        # In-place \r updates only make sense on a real terminal; anywhere
+        # else (CI, redirected stderr) fall back to one plain line per
+        # update, throttled to at most one per PLAIN_INTERVAL.
+        self._tty = bool(getattr(self._stream, "isatty", lambda: False)())
+        if not self._tty:
+            min_interval = max(min_interval, self.PLAIN_INTERVAL)
         self._min_interval = min_interval
         self._started: Optional[float] = None
         self._last_emit = float("-inf")
@@ -60,13 +74,18 @@ class ProgressReporter:
             eta = f" eta {format_seconds(elapsed * (total - done) / done)}"
         else:
             eta = ""
-        line = (
-            f"\r{self._label} {done}/{total} ({percent}%) "
+        body = (
+            f"{self._label} {done}/{total} ({percent}%) "
             f"elapsed {format_seconds(elapsed)}{eta}"
         )
-        # Pad to the widest line so far, so a shrinking render (ETA column
-        # disappearing at 100%) never leaves stale characters behind.
-        self._widest = max(self._widest, len(line))
-        line = line.ljust(self._widest)
-        self._stream.write(line + ("\n" if finished else ""))
+        if self._tty:
+            line = "\r" + body
+            # Pad to the widest line so far, so a shrinking render (ETA
+            # column disappearing at 100%) never leaves stale characters
+            # behind.
+            self._widest = max(self._widest, len(line))
+            line = line.ljust(self._widest)
+            self._stream.write(line + ("\n" if finished else ""))
+        else:
+            self._stream.write(body + "\n")
         self._stream.flush()

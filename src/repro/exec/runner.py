@@ -17,6 +17,7 @@ cleanly because results never reference a live ``Network`` or planner.
 
 from __future__ import annotations
 
+import json
 import shutil
 import tempfile
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -24,6 +25,9 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..network.simulator import Network
+from ..obs import export as _obs_export
+from ..obs.profile import CELL_RUN, SPOOL_MERGE, PhaseProfile, phase, profiling
+from ..obs.spans import SpanRecorder
 from ..workload.driver import WorkloadResult
 from ..workload.matrix import (
     CellResult,
@@ -47,38 +51,106 @@ ShardPayload = Tuple[
     bool,                               # share_networks
     bool,                               # keep_results
     Optional[str],                      # trace_dir
+    Optional[str],                      # obs export dir
+    bool,                               # profile (wall-clock phase timing)
     Tuple[Tuple[int, MatrixCell], ...], # (position, cell) pairs
 ]
 
 
+def _shard_metrics_path(obs_path: Path, shard_index: int) -> Path:
+    """The worker-private metrics part file the parent merges and removes.
+
+    Workers must never append to the shared ``metrics.jsonl`` concurrently;
+    each writes its own part, exactly like the result spools.
+    """
+    return obs_path / f"metrics-shard-{shard_index:03d}.jsonl"
+
+
 def _run_shard(
     payload: ShardPayload,
-) -> Tuple[int, List[Tuple[int, WorkloadResult]]]:
+) -> Tuple[int, List[Tuple[int, WorkloadResult]], Optional[Dict[str, object]]]:
     """Worker entry point: run one shard's cells, spooling as they finish.
 
     Top-level (not a closure) so it pickles under the ``spawn`` start
     method as well as ``fork``.  Cells execute in the given order over
     per-topology shared networks — the exact warm-up sequence the
     sequential engine produces for these cells.
+
+    With an obs dir the worker writes exactly the cell-level files a
+    sequential run would (``spans-cell-NNNN.jsonl`` keyed on grid position)
+    plus its own ``shard`` span file and a private metrics part the parent
+    folds into ``metrics.jsonl``.  The third return element is the worker's
+    wall-clock phase profile (as a dict), or ``None``.
     """
-    shard_index, spool_path, share_networks, keep_results, trace_dir, cells = (
-        payload
-    )
+    (
+        shard_index, spool_path, share_networks, keep_results, trace_dir,
+        obs_dir, profile, cells,
+    ) = payload
+    obs_path = Path(obs_dir) if obs_dir is not None else None
+    shard_tracer = SpanRecorder() if obs_path is not None else None
+    shard_profile = PhaseProfile(f"shard-{shard_index}") if profile else None
     networks: Dict[str, Network] = {}
     kept: List[Tuple[int, WorkloadResult]] = []
-    with open(spool_path, "w", encoding="utf-8") as fp:
-        for position, cell in cells:
-            network: Optional[Network] = None
-            if share_networks:
-                network = shared_network_for(networks, cell.spec)
-            cell_result, result = run_cell(cell, network=network)
-            fp.write(dump_spool_line(position, cell_result))
-            fp.flush()  # stream: the parent polls for progress
-            if trace_dir is not None:
-                write_cell_trace(trace_dir, position, result)
-            if keep_results:
-                kept.append((position, result))
-    return shard_index, kept
+    metrics_fp = None
+    try:
+        if obs_path is not None:
+            metrics_fp = open(
+                _shard_metrics_path(obs_path, shard_index), "w",
+                encoding="utf-8",
+            )
+        with profiling(shard_profile), open(
+            spool_path, "w", encoding="utf-8"
+        ) as fp:
+            shard_span = None
+            if shard_tracer is not None:
+                shard_span = shard_tracer.begin(
+                    "shard", shard=shard_index, cells=len(cells)
+                )
+            for position, cell in cells:
+                network: Optional[Network] = None
+                if share_networks:
+                    network = shared_network_for(networks, cell.spec)
+                cell_tracer = SpanRecorder() if obs_path is not None else None
+                with phase(CELL_RUN):
+                    cell_result, result = run_cell(
+                        cell, network=network, tracer=cell_tracer
+                    )
+                fp.write(dump_spool_line(position, cell_result))
+                fp.flush()  # stream: the parent polls for progress
+                if obs_path is not None:
+                    cell_tracer.to_path(
+                        _obs_export.cell_span_path(obs_path, position)
+                    )
+                    metrics_fp.write(_obs_export.dump_metrics_line(
+                        position,
+                        {
+                            "name": cell.spec.name,
+                            "topology": cell.topology,
+                            "strategy": cell.strategy,
+                            "regime": cell.regime,
+                        },
+                        result.metrics.registry,
+                    ))
+                    shard_tracer.set_clock(float(position))
+                    shard_tracer.event(
+                        "cell-run", position=position, cell=cell.spec.name
+                    )
+                if trace_dir is not None:
+                    write_cell_trace(trace_dir, position, result)
+                if keep_results:
+                    kept.append((position, result))
+            if shard_tracer is not None:
+                shard_tracer.end(shard_span, cells=len(cells))
+                shard_tracer.to_path(
+                    _obs_export.shard_span_path(obs_path, shard_index)
+                )
+    finally:
+        if metrics_fp is not None:
+            metrics_fp.close()
+    profile_dict = (
+        shard_profile.to_dict() if shard_profile is not None else None
+    )
+    return shard_index, kept, profile_dict
 
 
 def run_matrix_parallel(
@@ -89,6 +161,8 @@ def run_matrix_parallel(
     progress: Optional[Callable[[int, int], None]] = None,
     trace_dir=None,
     spool_dir=None,
+    obs_dir=None,
+    profile: bool = False,
 ) -> Tuple[MatrixReport, List[WorkloadResult]]:
     """Run ``matrix`` across worker processes; merge deterministically.
 
@@ -98,6 +172,13 @@ def run_matrix_parallel(
     single shard run sequentially in-process (no pool overhead).  Pass
     ``spool_dir`` to keep the JSONL spool files; by default they live in a
     temporary directory removed after the merge.
+
+    ``obs_dir``/``profile`` mirror :func:`~repro.workload.matrix.run_matrix`:
+    workers write per-cell span and metrics files keyed on grid position
+    (the same file set a sequential run produces), the parent stitches the
+    per-shard metrics parts into one position-sorted ``metrics.jsonl``,
+    records its own ``merge`` span, and the report gains a per-worker
+    ``profile`` section that never enters the digest.
     """
     from ..workload.matrix import run_matrix  # local: avoids import cycle
 
@@ -109,6 +190,8 @@ def run_matrix_parallel(
             keep_results=keep_results,
             progress=progress,
             trace_dir=trace_dir,
+            obs_dir=obs_dir,
+            profile=profile,
         )
         if spool_dir is not None:
             # Honour the requested artifact even when the grid collapsed to
@@ -129,6 +212,10 @@ def run_matrix_parallel(
     spool_paths = [
         shard_spool_path(spool_root, shard.index) for shard in plan.shards
     ]
+    obs_path = (
+        _obs_export.export_dir(obs_dir) if obs_dir is not None else None
+    )
+    parent_profile = PhaseProfile("parent") if profile else None
     payloads: List[ShardPayload] = [
         (
             shard.index,
@@ -136,12 +223,15 @@ def run_matrix_parallel(
             share_networks,
             keep_results,
             str(trace_dir) if trace_dir is not None else None,
+            str(obs_path) if obs_path is not None else None,
+            profile,
             tuple((indexed.position, indexed.cell) for indexed in shard.cells),
         )
         for shard in plan.shards
     ]
     total = plan.cell_count
     kept: Dict[int, WorkloadResult] = {}
+    shard_profiles: Dict[int, Dict[str, object]] = {}
     try:
         with ProcessPoolExecutor(max_workers=len(plan.shards)) as pool:
             pending = {pool.submit(_run_shard, payload) for payload in payloads}
@@ -152,23 +242,69 @@ def run_matrix_parallel(
                 if progress is not None:
                     progress(min(count_spooled(spool_paths), total), total)
                 for future in done:
-                    _, shard_kept = future.result()  # reraise worker errors
+                    # Reraise worker errors here.
+                    shard_index, shard_kept, shard_profile = future.result()
                     kept.update(shard_kept)
+                    if shard_profile is not None:
+                        shard_profiles[shard_index] = shard_profile
         if progress is not None:
             progress(total, total)
-        merged: Dict[int, CellResult] = {}
-        for path in spool_paths:
-            merged.update(load_spool(path))
-        if sorted(merged) != list(range(total)):
-            missing = sorted(set(range(total)) - set(merged))
-            raise RuntimeError(
-                f"parallel merge incomplete: spool is missing cells {missing}"
+        merge_tracer = SpanRecorder() if obs_path is not None else None
+        merge_span = None
+        if merge_tracer is not None:
+            merge_span = merge_tracer.begin(
+                "merge", shards=len(plan.shards), cells=total
             )
-        cells = [merged[position] for position in range(total)]
+        merged: Dict[int, CellResult] = {}
+        with profiling(parent_profile), phase(SPOOL_MERGE):
+            for path in spool_paths:
+                merged.update(load_spool(path))
+            if sorted(merged) != list(range(total)):
+                missing = sorted(set(range(total)) - set(merged))
+                raise RuntimeError(
+                    f"parallel merge incomplete: spool is missing cells "
+                    f"{missing}"
+                )
+            cells = [merged[position] for position in range(total)]
+            if obs_path is not None:
+                _merge_shard_metrics(obs_path, plan)
+        if merge_tracer is not None:
+            merge_tracer.end(merge_span)
+            merge_tracer.to_path(obs_path / _obs_export.MERGE_SPANS_FILE)
     finally:
         if own_spool:
             shutil.rmtree(spool_root, ignore_errors=True)
     results = [kept[position] for position in sorted(kept)] if keep_results \
         else []
     report = MatrixReport(matrix.to_dict(), cells, plan.skipped)
+    if profile:
+        profiles = [parent_profile] + [
+            PhaseProfile.from_dict(shard_profiles[index])
+            for index in sorted(shard_profiles)
+        ]
+        if obs_path is not None:
+            _obs_export.write_profiles(
+                _obs_export.profile_path(obs_path), profiles
+            )
+        report.attach_profile(_obs_export.profiles_dict(profiles))
     return report, results
+
+
+def _merge_shard_metrics(obs_path: Path, plan: ExecutionPlan) -> None:
+    """Fold the workers' metrics part files into one position-sorted
+    ``metrics.jsonl`` — byte-identical to the file a sequential run writes —
+    then delete the parts."""
+    lines: List[Tuple[int, str]] = []
+    for shard in plan.shards:
+        part = _shard_metrics_path(obs_path, shard.index)
+        if not part.exists():
+            continue
+        with open(part, "r", encoding="utf-8") as fp:
+            for line in fp:
+                if line.strip():
+                    lines.append((int(json.loads(line)["position"]), line))
+        part.unlink()
+    lines.sort(key=lambda pair: pair[0])
+    with open(_obs_export.metrics_path(obs_path), "w", encoding="utf-8") as fp:
+        for _, line in lines:
+            fp.write(line)

@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Callable, Dict, FrozenSet, Hashable, Optional, Tuple
 
 from ..core.exceptions import UnknownNodeError
+from ..obs.profile import PLAN_CACHE_WARM, phase
 from .broadcast import DeliveryOutcome, multicast, unicast
 from .faults import FaultPlan, surviving_graph
 from .graph import Graph
@@ -168,7 +169,8 @@ class DeliveryPlanner:
             return self._routing
         if self._surviving_table is None:
             self._stats.record_plan_event(ROUTE_MISS)
-            self._surviving_table = RoutingTable(self.effective_graph())
+            with phase(PLAN_CACHE_WARM):
+                self._surviving_table = RoutingTable(self.effective_graph())
         else:
             self._stats.record_plan_event(ROUTE_HIT)
         return self._surviving_table

@@ -37,6 +37,8 @@ from .events import EventLoop
 from .faults import CRASH_NODE, LINK_DOWN, LINK_UP, RECOVER_NODE, FaultEvent, FaultPlan
 from .graph import Graph
 from .node import Node
+from ..obs.profile import ROUTING_TABLE, phase
+from ..obs.spans import active_tracer
 from .routing import RoutingTable
 from .stats import POST, QUERY, REPLY, PAYLOAD, MessageStats
 
@@ -102,7 +104,8 @@ class Network:
         self._nodes: Dict[Hashable, Node] = {
             node_id: Node(node_id, cache_factory()) for node_id in self._graph.nodes
         }
-        self._routing = RoutingTable(self._graph)
+        with phase(ROUTING_TABLE):
+            self._routing = RoutingTable(self._graph)
         self._faults = FaultPlan()
         self._stats = MessageStats()
         # All routing/planning work for every delivery mode goes through the
@@ -321,6 +324,16 @@ class Network:
             delivered = sum(1 for d in destinations if d in outcome.reached)
         self._stats.record_delivery(category, delivered, message_count - delivered)
         self._stats.record_load(outcome.reached)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.event(
+                "deliver",
+                category=category,
+                mode=mode,
+                hops=outcome.hops,
+                reached=delivered,
+                dropped=message_count - delivered,
+            )
         return outcome
 
     def _deliver_with_duplicates(
@@ -461,6 +474,15 @@ class Network:
             REPLY, reply_hops, message_count=len(responders) + lost_replies
         )
         self._stats.record_delivery(REPLY, len(responders), lost_replies)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.event(
+                "route",
+                category=REPLY,
+                hops=reply_hops,
+                responders=len(responders),
+                lost=lost_replies,
+            )
         return QueryOutcome(
             records=tuple(records),
             responding_nodes=frozenset(responders),

@@ -4,6 +4,11 @@
 one of its direct neighbors" (section 2.1).  Every simulator operation charges
 its hops to a :class:`MessageStats` instance, broken down by category so that
 experiments can separate posting, querying, replying and payload traffic.
+
+Each counter family is a :class:`~repro.obs.registry.CounterMap` — a dict
+subclass, so every existing read pattern (``stats.hops.get(...)``, direct
+indexing, ``dict(...)`` copies) still works, while merge/snapshot/diff
+delegate to the one shared implementation instead of six hand-rolled loops.
 """
 
 from __future__ import annotations
@@ -11,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, Iterator, Tuple
 
+from ..obs.registry import CounterMap
 
 #: Categories used by the match-making engine.
 POST = "post"
@@ -35,26 +41,47 @@ class MessageStats:
     totals and from workload summaries.
     """
 
-    hops: Dict[str, int] = field(default_factory=dict)
-    messages: Dict[str, int] = field(default_factory=dict)
-    node_load: Dict[Hashable, int] = field(default_factory=dict)
-    plan_events: Dict[str, int] = field(default_factory=dict)
+    hops: CounterMap = field(default_factory=CounterMap)
+    messages: CounterMap = field(default_factory=CounterMap)
+    node_load: CounterMap = field(default_factory=CounterMap)
+    plan_events: CounterMap = field(default_factory=CounterMap)
     #: Per-destination delivery outcomes by category: a message occurrence is
     #: *delivered* when its destination was reached and *dropped* when the
     #: destination was down or unreachable.  For point-to-point delivery
     #: traffic these obey the conservation law ``sent = delivered + dropped``
     #: (``messages[c] == delivered[c] + dropped[c]``), which the differential
     #: test suite pins for every strategy.
-    delivered: Dict[str, int] = field(default_factory=dict)
-    dropped: Dict[str, int] = field(default_factory=dict)
+    delivered: CounterMap = field(default_factory=CounterMap)
+    dropped: CounterMap = field(default_factory=CounterMap)
+
+    def __post_init__(self) -> None:
+        # Plain dicts passed to the constructor (snapshots built from
+        # literals, test fixtures) are adopted as counter maps.
+        for name in (
+            "hops", "messages", "node_load", "plan_events", "delivered",
+            "dropped",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, CounterMap):
+                setattr(self, name, CounterMap(value))
+
+    def _families(self) -> Tuple[Tuple[str, CounterMap], ...]:
+        return (
+            ("hops", self.hops),
+            ("messages", self.messages),
+            ("node_load", self.node_load),
+            ("plan_events", self.plan_events),
+            ("delivered", self.delivered),
+            ("dropped", self.dropped),
+        )
 
     def record(self, category: str, hop_count: int, message_count: int = 1) -> None:
         """Charge ``hop_count`` hops and ``message_count`` messages to
         ``category``."""
         if hop_count < 0 or message_count < 0:
             raise ValueError("counts must be non-negative")
-        self.hops[category] = self.hops.get(category, 0) + hop_count
-        self.messages[category] = self.messages.get(category, 0) + message_count
+        self.hops.bump(category, hop_count)
+        self.messages.bump(category, message_count)
 
     def record_delivery(
         self, category: str, delivered: int, dropped: int
@@ -63,20 +90,18 @@ class MessageStats:
         if delivered < 0 or dropped < 0:
             raise ValueError("counts must be non-negative")
         if delivered:
-            self.delivered[category] = (
-                self.delivered.get(category, 0) + delivered
-            )
+            self.delivered.bump(category, delivered)
         if dropped:
-            self.dropped[category] = self.dropped.get(category, 0) + dropped
+            self.dropped.bump(category, dropped)
 
     def record_load(self, nodes: Iterable[Hashable]) -> None:
         """Count one delivered message against each addressed node."""
         for node in nodes:
-            self.node_load[node] = self.node_load.get(node, 0) + 1
+            self.node_load.bump(node)
 
     def record_plan_event(self, kind: str, count: int = 1) -> None:
         """Count ``count`` delivery-planner cache events of ``kind``."""
-        self.plan_events[kind] = self.plan_events.get(kind, 0) + count
+        self.plan_events.bump(kind, count)
 
     def plan_events_for(self, kind: str) -> int:
         """Planner cache events of ``kind`` recorded so far."""
@@ -116,18 +141,8 @@ class MessageStats:
 
     def merge(self, other: "MessageStats") -> None:
         """Add another stats object into this one."""
-        for category, count in other.hops.items():
-            self.hops[category] = self.hops.get(category, 0) + count
-        for category, count in other.messages.items():
-            self.messages[category] = self.messages.get(category, 0) + count
-        for node, count in other.node_load.items():
-            self.node_load[node] = self.node_load.get(node, 0) + count
-        for kind, count in other.plan_events.items():
-            self.plan_events[kind] = self.plan_events.get(kind, 0) + count
-        for category, count in other.delivered.items():
-            self.delivered[category] = self.delivered.get(category, 0) + count
-        for category, count in other.dropped.items():
-            self.dropped[category] = self.dropped.get(category, 0) + count
+        for name, family in self._families():
+            family.merge(getattr(other, name))
 
     def hops_for(self, category: str) -> int:
         """Hops charged to ``category``."""
@@ -158,47 +173,16 @@ class MessageStats:
     def snapshot(self) -> "MessageStats":
         """An independent copy of the current counters."""
         return MessageStats(
-            hops=dict(self.hops),
-            messages=dict(self.messages),
-            node_load=dict(self.node_load),
-            plan_events=dict(self.plan_events),
-            delivered=dict(self.delivered),
-            dropped=dict(self.dropped),
+            **{name: family.snapshot() for name, family in self._families()}
         )
 
     def diff(self, earlier: "MessageStats") -> "MessageStats":
         """Counters accumulated since ``earlier`` was snapshotted."""
-        hops = {
-            category: count - earlier.hops.get(category, 0)
-            for category, count in self.hops.items()
-        }
-        messages = {
-            category: count - earlier.messages.get(category, 0)
-            for category, count in self.messages.items()
-        }
-        node_load = {
-            node: count - earlier.node_load.get(node, 0)
-            for node, count in self.node_load.items()
-        }
-        plan_events = {
-            kind: count - earlier.plan_events.get(kind, 0)
-            for kind, count in self.plan_events.items()
-        }
-        delivered = {
-            category: count - earlier.delivered.get(category, 0)
-            for category, count in self.delivered.items()
-        }
-        dropped = {
-            category: count - earlier.dropped.get(category, 0)
-            for category, count in self.dropped.items()
-        }
         return MessageStats(
-            hops={k: v for k, v in hops.items() if v},
-            messages={k: v for k, v in messages.items() if v},
-            node_load={k: v for k, v in node_load.items() if v},
-            plan_events={k: v for k, v in plan_events.items() if v},
-            delivered={k: v for k, v in delivered.items() if v},
-            dropped={k: v for k, v in dropped.items() if v},
+            **{
+                name: family.diff(getattr(earlier, name))
+                for name, family in self._families()
+            }
         )
 
     def items(self) -> Iterator[Tuple[str, int]]:
@@ -207,9 +191,5 @@ class MessageStats:
 
     def reset(self) -> None:
         """Zero every counter."""
-        self.hops.clear()
-        self.messages.clear()
-        self.node_load.clear()
-        self.plan_events.clear()
-        self.delivered.clear()
-        self.dropped.clear()
+        for _, family in self._families():
+            family.clear()

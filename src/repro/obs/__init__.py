@@ -1,0 +1,96 @@
+"""``repro.obs`` — the observability layer: spans, metrics, profiles.
+
+The simulator's results were always deterministic; this package makes them
+*inspectable* without breaking that:
+
+* :mod:`~repro.obs.spans` — hierarchical span tracing (``locate`` →
+  ``rendezvous-resolve`` → ``deliver``/``route``; ``shard`` →
+  ``cell-run``; ``merge``) with logical-clock timestamps injected by the
+  workload driver, so traces are seed-deterministic and never perturb a
+  digest;
+* :mod:`~repro.obs.registry` — named counters, gauges and exact/fixed-
+  bucket histograms with an associative ``merge()``; per-cell metrics
+  merge exactly like matrix cells do;
+* :mod:`~repro.obs.profile` — opt-in wall-clock phase timing (topology
+  build, routing tables, plan warming, cell runs, spool merge), surfaced
+  per worker and explicitly excluded from report digests;
+* :mod:`~repro.obs.export` — the JSONL export layout
+  ``python -m repro obs summarize``/``diff`` consume.
+
+Everything here is off by default: with no tracer or profile installed the
+instrumented hot paths cost one global read each.
+"""
+
+from .export import (
+    cell_span_path,
+    dump_metrics_line,
+    export_dir,
+    load_all_spans,
+    load_metrics,
+    load_profiles,
+    merged_metrics,
+    metrics_path,
+    profile_path,
+    profiles_dict,
+    shard_span_path,
+    span_breakdown,
+    write_profiles,
+)
+from .host import host_metadata
+from .profile import (
+    CELL_RUN,
+    PLAN_CACHE_WARM,
+    ROUTING_TABLE,
+    SPOOL_MERGE,
+    TOPOLOGY_BUILD,
+    PhaseProfile,
+    active_profile,
+    phase,
+    profiling,
+)
+from .registry import (
+    Counter,
+    CounterMap,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_registries,
+)
+from .spans import Span, SpanRecorder, active_tracer, load_spans, tracing
+
+__all__ = [
+    "CELL_RUN",
+    "Counter",
+    "CounterMap",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PLAN_CACHE_WARM",
+    "PhaseProfile",
+    "ROUTING_TABLE",
+    "SPOOL_MERGE",
+    "Span",
+    "SpanRecorder",
+    "TOPOLOGY_BUILD",
+    "active_profile",
+    "active_tracer",
+    "cell_span_path",
+    "dump_metrics_line",
+    "export_dir",
+    "host_metadata",
+    "load_all_spans",
+    "load_metrics",
+    "load_profiles",
+    "load_spans",
+    "merge_registries",
+    "merged_metrics",
+    "metrics_path",
+    "phase",
+    "profile_path",
+    "profiles_dict",
+    "profiling",
+    "shard_span_path",
+    "span_breakdown",
+    "tracing",
+    "write_profiles",
+]

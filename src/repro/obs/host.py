@@ -1,0 +1,26 @@
+"""Host metadata stamped onto persisted benchmark entries.
+
+Wall-clock benchmark numbers are only interpretable next to the machine
+that produced them; every ``BENCH_workload.json`` section carries this
+record so a trajectory reader can tell a real regression from a slower
+host.  Entries written before this existed carry ``"host": null``.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from typing import Dict, Optional
+
+
+def host_metadata(workers: Optional[int] = None) -> Dict[str, object]:
+    """The recording host: platform, Python, CPU count — plus the worker
+    count for parallel benchmarks."""
+    meta: Dict[str, object] = {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+    if workers is not None:
+        meta["workers"] = workers
+    return meta

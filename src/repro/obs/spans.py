@@ -1,0 +1,175 @@
+"""Hierarchical span tracing for the simulator — deterministic by design.
+
+A :class:`Span` is one named unit of work (``locate``, ``deliver``,
+``cell-run``...) with a parent id, integer attributes (hops, node counts)
+and a **logical-clock** timestamp.  The driver injects the clock — the
+trace time of the operation being executed — so two runs of the same seed
+produce byte-identical span streams, and a span export can never perturb a
+run's digest: spans carry no wall-clock time at all.
+
+Recording uses an explicit begin/end protocol on a :class:`SpanRecorder`::
+
+    sid = tracer.begin("locate", port=repr(port))
+    ...
+    tracer.end(sid, hops=query_hops + reply_hops)
+
+``begin`` pushes the span on the recorder's stack, so spans begun while
+another is open become its children — that is the whole hierarchy.
+
+The deeply-instrumented layers (matchmaker, network) do not take a tracer
+parameter; they consult the module-level *active* tracer, which is ``None``
+unless a driver (or the exec engine) installed one.  The disabled fast
+path is a single global read and ``is None`` test per instrumentation
+point — cheap enough to leave in the hot delivery path.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) unit of work."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    clock: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe representation (attrs key-sorted for determinism)."""
+        return {
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "clock": self.clock,
+            "attrs": {key: self.attrs[key] for key in sorted(self.attrs)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output."""
+        parent = data.get("parent")
+        return cls(
+            span_id=int(data["span"]),
+            parent_id=int(parent) if parent is not None else None,
+            name=str(data["name"]),
+            clock=float(data.get("clock", 0.0)),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+class SpanRecorder:
+    """Collects spans with sequential ids and a driver-injected clock."""
+
+    def __init__(self) -> None:
+        self._spans: List[Span] = []
+        self._stack: List[int] = []
+        self._next_id = 0
+        self._clock = 0.0
+
+    def set_clock(self, clock: float) -> None:
+        """Install the logical time stamped on subsequently begun spans."""
+        self._clock = clock
+
+    @property
+    def clock(self) -> float:
+        """The current logical time."""
+        return self._clock
+
+    def begin(self, name: str, **attrs: object) -> int:
+        """Open a span (child of the innermost open span); returns its id."""
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            name=name,
+            clock=self._clock,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._spans.append(span)
+        self._stack.append(span.span_id)
+        return span.span_id
+
+    def end(self, span_id: int, **attrs: object) -> None:
+        """Close the span ``begin`` returned, folding in final attributes.
+
+        Spans must close innermost-first; closing out of order means an
+        instrumentation bug, so it raises instead of silently reparenting.
+        """
+        if not self._stack or self._stack[-1] != span_id:
+            raise ValueError(
+                f"span {span_id} is not the innermost open span "
+                f"(stack: {self._stack})"
+            )
+        self._stack.pop()
+        self._spans[span_id].attrs.update(attrs)
+
+    def event(self, name: str, **attrs: object) -> int:
+        """A zero-duration span: begin and end in one call."""
+        span_id = self.begin(name, **attrs)
+        self.end(span_id)
+        return span_id
+
+    @property
+    def spans(self) -> List[Span]:
+        """Every recorded span, in begin order (ids are dense from 0)."""
+        return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def dump_jsonl(self, fp) -> None:
+        """Write one key-sorted JSON line per span."""
+        for span in self._spans:
+            fp.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+
+    def to_path(self, path) -> None:
+        """Write the span stream to ``path`` as JSON lines."""
+        with open(path, "w", encoding="utf-8") as fp:
+            self.dump_jsonl(fp)
+
+
+def load_spans(path) -> List[Span]:
+    """Read a span JSONL file written by :meth:`SpanRecorder.to_path`."""
+    spans = []
+    with open(path, "r", encoding="utf-8") as fp:
+        for line in fp:
+            if line.strip():
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+# -- the active tracer --------------------------------------------------------
+
+#: The tracer deep layers record into; ``None`` means tracing is off.  The
+#: simulator is single-threaded per process, so one slot suffices.
+_ACTIVE: Optional[SpanRecorder] = None
+
+
+def active_tracer() -> Optional[SpanRecorder]:
+    """The currently installed tracer, or ``None`` (the common case)."""
+    return _ACTIVE
+
+
+@contextmanager
+def tracing(tracer: Optional[SpanRecorder]):
+    """Install ``tracer`` as the active tracer for the ``with`` body.
+
+    Passing ``None`` is a no-op context, so call sites can write
+    ``with tracing(maybe_tracer):`` unconditionally.  Re-entrant installs
+    restore the previous tracer on exit.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    if tracer is not None:
+        _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous

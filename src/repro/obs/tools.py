@@ -1,0 +1,175 @@
+"""Readers behind ``python -m repro obs``: summarize and diff exports.
+
+Both commands work entirely off the on-disk export layout
+(:mod:`repro.obs.export`) — merged metric totals, span-derived hop
+breakdowns, per-worker phase profiles — so they can inspect a run that
+happened in another process, on another machine, or last week.  Everything
+returned is a deterministic, JSON-safe dictionary; the render helpers turn
+those into the fixed-width text the CLI prints.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .export import (
+    load_all_spans,
+    load_metrics,
+    load_profiles,
+    metrics_path,
+    profile_path,
+    profiles_dict,
+    span_breakdown,
+)
+from .registry import Histogram, merge_registries
+
+
+def _registry_summary(serialized: Dict[str, object]) -> Dict[str, object]:
+    """A compact, readable summary of one serialized registry.
+
+    Counters and gauges flatten to their value; histograms re-derive their
+    dashboard summary (count/mean/percentiles) from the full-fidelity dump;
+    counter families compress to total count and distinct-key count.
+    """
+    out: Dict[str, object] = {}
+    for name, payload in serialized.items():
+        kind = payload.get("type")
+        if kind in ("counter", "gauge"):
+            out[name] = payload["value"]
+        elif kind == "histogram":
+            out[name] = Histogram.from_dump(payload).to_dict()
+        elif kind == "counter_map":
+            counts = payload.get("counts", {})
+            out[name] = {"total": sum(counts.values()), "keys": len(counts)}
+        else:  # pragma: no cover - registry serializes only the above
+            out[name] = payload
+    return out
+
+
+def summarize_export(directory) -> Dict[str, object]:
+    """Digest one export directory: metrics, span breakdowns, profiles.
+
+    Sections are independent — a spans-only or metrics-only directory
+    summarizes fine; a directory with neither is an error, not an empty
+    answer.
+    """
+    directory = Path(directory)
+    out: Dict[str, object] = {}
+    m_path = metrics_path(directory)
+    if m_path.exists():
+        entries = load_metrics(m_path)
+        merged = merge_registries(registry for _, registry in entries)
+        out["cells"] = len(entries)
+        out["metrics"] = _registry_summary(merged.to_dict())
+    span_sets = load_all_spans(directory)
+    if span_sets:
+        out["spans"] = span_breakdown(span_sets)
+    p_path = profile_path(directory)
+    if p_path.exists():
+        out["profile"] = profiles_dict(load_profiles(p_path))
+    if not out:
+        raise ValueError(
+            f"{directory} holds no observability export "
+            f"(no metrics.jsonl, spans-*.jsonl or profile.json)"
+        )
+    return out
+
+
+def _diff_tree(a: object, b: object) -> Optional[object]:
+    """Recursive numeric diff ``b - a``; ``None`` prunes equal subtrees.
+
+    Dicts diff key-by-key over the key union (a missing side counts as 0
+    for numbers); numeric leaves become their delta; non-numeric leaves
+    surface as ``{"a": ..., "b": ...}`` when they differ.
+    """
+    if isinstance(a, dict) or isinstance(b, dict):
+        a = a if isinstance(a, dict) else {}
+        b = b if isinstance(b, dict) else {}
+        out = {}
+        for key in sorted(set(a) | set(b), key=str):
+            delta = _diff_tree(a.get(key), b.get(key))
+            if delta is not None:
+                out[key] = delta
+        return out or None
+    a_num = isinstance(a, (int, float)) and not isinstance(a, bool)
+    b_num = isinstance(b, (int, float)) and not isinstance(b, bool)
+    if a_num or b_num:
+        delta = (b or 0) - (a or 0)
+        return round(delta, 6) if delta else None
+    if a != b:
+        return {"a": a, "b": b}
+    return None
+
+
+def diff_exports(dir_a, dir_b) -> Dict[str, object]:
+    """Numeric deltas (``b - a``) between two export summaries.
+
+    Profiles are deliberately left out: wall-clock deltas between two runs
+    measure the machines, not the change under test.  An empty ``metrics``/
+    ``spans`` section means the two exports agree exactly there.
+    """
+    summary_a = summarize_export(dir_a)
+    summary_b = summarize_export(dir_b)
+    return {
+        "cells": {
+            "a": summary_a.get("cells", 0), "b": summary_b.get("cells", 0),
+        },
+        "metrics": _diff_tree(
+            summary_a.get("metrics", {}), summary_b.get("metrics", {})
+        ) or {},
+        "spans": _diff_tree(
+            summary_a.get("spans", {}), summary_b.get("spans", {})
+        ) or {},
+    }
+
+
+# -- text rendering -----------------------------------------------------------
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, dict):
+        return "  ".join(f"{key}={value[key]}" for key in value)
+    return str(value)
+
+
+def _section(title: str, rows: Dict[str, object], lines: List[str]) -> None:
+    lines.append(f"{title}:")
+    if not rows:
+        lines.append("  (no differences)")
+        return
+    width = max(len(str(name)) for name in rows)
+    for name in rows:
+        lines.append(f"  {str(name):<{width}}  {_format_value(rows[name])}")
+
+
+def render_summary(summary: Dict[str, object]) -> str:
+    """The ``obs summarize`` text report."""
+    lines: List[str] = []
+    if "cells" in summary:
+        lines.append(f"cells: {summary['cells']}")
+    if "profile" in summary:
+        lines.append("profile:")
+        for label, phases in summary["profile"].items():
+            lines.append(f"  {label}:")
+            width = max(len(name) for name in phases) if phases else 0
+            for name in sorted(phases):
+                entry = phases[name]
+                lines.append(
+                    f"    {name:<{width}}  {entry['seconds']:.6f}s"
+                    f"  x{entry['count']}"
+                )
+    if "metrics" in summary:
+        _section("metrics", summary["metrics"], lines)
+    if "spans" in summary:
+        _section("spans", summary["spans"], lines)
+    return "\n".join(lines)
+
+
+def render_diff(diff: Dict[str, object]) -> str:
+    """The ``obs diff`` text report (deltas are ``b - a``)."""
+    cells = diff.get("cells", {})
+    lines = [f"cells: a={cells.get('a', 0)} b={cells.get('b', 0)}"]
+    _section("metrics delta (b - a)", diff.get("metrics", {}), lines)
+    _section("spans delta (b - a)", diff.get("spans", {}), lines)
+    return "\n".join(lines)

@@ -33,6 +33,8 @@ from ..core.types import Port
 from ..network import faults as _faults
 from ..network.simulator import Network
 from ..network.stats import PAYLOAD, QUERY, REPLY
+from ..obs.profile import TOPOLOGY_BUILD, phase
+from ..obs.spans import SpanRecorder, active_tracer, tracing
 from ..processes.client import ClientProcess
 from ..processes.server import ServerProcess
 from ..processes.system import DistributedSystem
@@ -196,7 +198,10 @@ class WorkloadDriver:
             network = self._shared_network
             network.reset_for_reuse()
         else:
-            network = self._topology.build_network(delivery_mode=spec.delivery_mode)
+            with phase(TOPOLOGY_BUILD):
+                network = self._topology.build_network(
+                    delivery_mode=spec.delivery_mode
+                )
         system = DistributedSystem(
             network,
             self._strategy,
@@ -224,7 +229,19 @@ class WorkloadDriver:
         self, state: _RunState, metrics: WorkloadMetrics, op: TraceOp
     ) -> None:
         """Execute one fully-resolved operation (run and replay both land
-        here)."""
+        here).
+
+        When a tracer is active, the op's trace time becomes the logical
+        clock every span begun during this op is stamped with — the reason
+        span streams are seed-deterministic and replay-identical.  REQUEST
+        ops get a ``request`` span wrapping the whole locate/deliver tree;
+        churn and fault ops get zero-duration event spans.
+        """
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.set_clock(op.time)
+            if op.kind != REQUEST:
+                tracer.event(op.kind)
         system = state.system
         if op.kind == REQUEST:
             client_index, port_index = op.args
@@ -236,11 +253,23 @@ class WorkloadDriver:
             query0 = hops.get(QUERY, 0)
             reply0 = hops.get(REPLY, 0)
             payload0 = hops.get(PAYLOAD, 0)
+            request_span = None
+            if tracer is not None:
+                request_span = tracer.begin(
+                    "request", client=client_index, port=port_index
+                )
             outcome = system.request(client, port, payload=None)
             locate_hops = (
                 hops.get(QUERY, 0) - query0 + hops.get(REPLY, 0) - reply0
             )
             total_hops = locate_hops + hops.get(PAYLOAD, 0) - payload0
+            if tracer is not None:
+                tracer.end(
+                    request_span,
+                    ok=outcome.ok,
+                    locate_hops=locate_hops,
+                    hops=total_hops,
+                )
             metrics.observe_request(
                 ok=outcome.ok,
                 locates=outcome.locates,
@@ -402,8 +431,14 @@ class WorkloadDriver:
 
     # -- run / replay ----------------------------------------------------------
 
-    def run(self) -> WorkloadResult:
-        """Generate and execute the scenario, recording a replayable trace."""
+    def run(self, tracer: Optional[SpanRecorder] = None) -> WorkloadResult:
+        """Generate and execute the scenario, recording a replayable trace.
+
+        ``tracer`` collects the run's span tree (``request`` → ``locate`` →
+        ``rendezvous-resolve`` → ``route``/``deliver``).  Spans are stamped
+        with each op's trace time, never wall clock, so tracing a run
+        changes nothing about its results.
+        """
         spec = self.spec
         arrival_process = _arrivals.from_spec(spec.arrival)
         popularity_model = _popularity.from_spec(spec.popularity, spec.ports)
@@ -482,13 +517,14 @@ class WorkloadDriver:
                         trace.append(op)
                         self._exec_op(state, metrics, op)
 
-        for now, client_index in requests:
-            _drain(now)
-            port_index = popularity_model.pick(popularity_rng, now)
-            op = TraceOp(REQUEST, now, (client_index, port_index))
-            trace.append(op)
-            self._exec_op(state, metrics, op)
-        _drain(float("inf"))
+        with tracing(tracer):
+            for now, client_index in requests:
+                _drain(now)
+                port_index = popularity_model.pick(popularity_rng, now)
+                op = TraceOp(REQUEST, now, (client_index, port_index))
+                trace.append(op)
+                self._exec_op(state, metrics, op)
+            _drain(float("inf"))
 
         wall = _time.perf_counter() - started
         merge_node_load(metrics, state.network.stats.node_load, load_baseline)
@@ -500,16 +536,19 @@ class WorkloadDriver:
             plan_cache=_plan_cache_delta(state, plan_baseline),
         )
 
-    def replay(self, trace: Trace) -> WorkloadResult:
+    def replay(
+        self, trace: Trace, tracer: Optional[SpanRecorder] = None
+    ) -> WorkloadResult:
         """Execute a recorded trace exactly; metrics match the original
-        run."""
+        run — and so does the span stream, when ``tracer`` is given."""
         state = self._build_state()
         metrics = WorkloadMetrics(universe_size=len(self._nodes))
         load_baseline = dict(state.network.stats.node_load)
         plan_baseline = dict(state.network.stats.plan_events)
         started = _time.perf_counter()
-        for op in trace:
-            self._exec_op(state, metrics, op)
+        with tracing(tracer):
+            for op in trace:
+                self._exec_op(state, metrics, op)
         wall = _time.perf_counter() - started
         merge_node_load(metrics, state.network.stats.node_load, load_baseline)
         return WorkloadResult(
@@ -532,9 +571,11 @@ def _plan_cache_delta(
     }
 
 
-def run_scenario(spec: ScenarioSpec) -> WorkloadResult:
+def run_scenario(
+    spec: ScenarioSpec, tracer: Optional[SpanRecorder] = None
+) -> WorkloadResult:
     """Build a driver for ``spec`` and run it once."""
-    return WorkloadDriver(spec).run()
+    return WorkloadDriver(spec).run(tracer=tracer)
 
 
 def replay_trace(trace: Trace) -> WorkloadResult:

@@ -41,6 +41,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.exceptions import StrategyError
 from ..network.delivery import plan_hit_rates
 from ..network.simulator import Network
+from ..obs import export as _obs_export
+from ..obs.profile import CELL_RUN, TOPOLOGY_BUILD, PhaseProfile, phase, profiling
+from ..obs.registry import CounterMap
+from ..obs.spans import SpanRecorder
 from .driver import WorkloadDriver, WorkloadResult
 from .spec import (
     ArrivalSpec,
@@ -296,10 +300,26 @@ class MatrixReport:
         grid: Dict[str, object],
         cells: Sequence[CellResult],
         skipped: Sequence[Dict[str, str]] = (),
+        profile: Optional[Dict[str, object]] = None,
     ) -> None:
         self._grid = dict(grid)
         self._cells = list(cells)
         self._skipped = [dict(entry) for entry in skipped]
+        self._profile = dict(profile) if profile else None
+
+    @property
+    def profile(self) -> Optional[Dict[str, object]]:
+        """Per-worker wall-clock phase profiles, when profiling was on.
+
+        Wall-clock data is nondeterministic by nature, so this section is
+        excluded from :meth:`canonical_dict` and therefore from
+        :meth:`digest` — profiling a run never changes its identity.
+        """
+        return dict(self._profile) if self._profile else None
+
+    def attach_profile(self, profile: Dict[str, object]) -> None:
+        """Install the run's wall-clock profile section."""
+        self._profile = dict(profile)
 
     @property
     def grid(self) -> Dict[str, object]:
@@ -333,10 +353,9 @@ class MatrixReport:
             requests = sum(c.summary["requests"] for c in members)
             successes = sum(c.summary["successes"] for c in members)
             cache_hits = sum(c.summary["cache_hits"] for c in members)
-            plan_events: Dict[str, int] = {}
+            plan_events = CounterMap()
             for cell in members:
-                for kind, count in cell.plan_cache.items():
-                    plan_events[kind] = plan_events.get(kind, 0) + count
+                plan_events.merge(cell.plan_cache)
             aggregated[label] = {
                 "cells": len(members),
                 "requests": requests,
@@ -375,10 +394,9 @@ class MatrixReport:
 
     def plan_cache_events(self) -> Dict[str, int]:
         """Planner cache events summed over every cell."""
-        totals: Dict[str, int] = {}
+        totals = CounterMap()
         for cell in self._cells:
-            for kind, count in cell.plan_cache.items():
-                totals[kind] = totals.get(kind, 0) + count
+            totals.merge(cell.plan_cache)
         return totals
 
     def table(self) -> List[Dict[str, object]]:
@@ -401,7 +419,7 @@ class MatrixReport:
 
     def to_dict(self) -> Dict[str, object]:
         """The whole report as one JSON-safe dictionary."""
-        return {
+        data = {
             "grid": self._grid,
             "cells": [cell.to_dict() for cell in self._cells],
             "skipped": self.skipped,
@@ -409,16 +427,21 @@ class MatrixReport:
             "by_regime": self.by_regime(),
             "availability_floor": round(self.availability_floor(), 4),
         }
+        if self._profile is not None:
+            data["profile"] = dict(self._profile)
+        return data
 
     def canonical_dict(self) -> Dict[str, object]:
         """:meth:`to_dict` with every nondeterministic field neutralized.
 
-        Per-cell wall seconds are the only nondeterministic content a report
-        carries; zeroing them leaves exactly the bytes that must match
+        Per-cell wall seconds and the wall-clock ``profile`` section are
+        the only nondeterministic content a report carries; zeroing the one
+        and dropping the other leaves exactly the bytes that must match
         between a sequential run and any sharded parallel run of the same
-        grid.
+        grid — with or without observability enabled.
         """
         data = self.to_dict()
+        data.pop("profile", None)
         for cell in data["cells"]:
             cell["wall_seconds"] = 0.0
         return data
@@ -441,6 +464,7 @@ class MatrixReport:
             grid=dict(data.get("grid", {})),
             cells=[CellResult.from_dict(cell) for cell in data.get("cells", [])],
             skipped=data.get("skipped", []),
+            profile=data.get("profile"),
         )
 
     def to_path(self, path) -> None:
@@ -463,11 +487,17 @@ class MatrixReport:
 
 
 def run_cell(
-    cell: MatrixCell, network: Optional[Network] = None
+    cell: MatrixCell,
+    network: Optional[Network] = None,
+    tracer: Optional[SpanRecorder] = None,
 ) -> Tuple[CellResult, WorkloadResult]:
     """Execute one expanded cell (the sequential loop and every parallel
-    worker both land here, so the two paths cannot drift)."""
-    result = WorkloadDriver(cell.spec, network=network).run()
+    worker both land here, so the two paths cannot drift).
+
+    ``tracer`` collects the driver's span tree for this cell; spans are
+    logical-clock stamped, so tracing never changes the cell's results.
+    """
+    result = WorkloadDriver(cell.spec, network=network).run(tracer=tracer)
     cell_result = CellResult(
         topology=cell.topology,
         strategy=cell.strategy,
@@ -504,9 +534,10 @@ def shared_network_for(
     """
     network = networks.get(spec.topology)
     if network is None:
-        network = build_topology(spec.topology).build_network(
-            delivery_mode=spec.delivery_mode
-        )
+        with phase(TOPOLOGY_BUILD):
+            network = build_topology(spec.topology).build_network(
+                delivery_mode=spec.delivery_mode
+            )
         networks[spec.topology] = network
     return network
 
@@ -518,6 +549,8 @@ def run_matrix(
     workers: Optional[int] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     trace_dir=None,
+    obs_dir=None,
+    profile: bool = False,
 ) -> Tuple[MatrixReport, List[WorkloadResult]]:
     """Execute every cell of ``matrix`` and aggregate the results.
 
@@ -534,6 +567,13 @@ def run_matrix(
     ``workers=0`` means one worker per CPU.  ``progress`` is called as
     ``progress(done_cells, total_cells)`` while the grid runs, and
     ``trace_dir`` spools every cell's trace as a replayable JSONL file.
+
+    ``obs_dir`` enables the observability export (per-cell span trees,
+    shard spans, a per-cell metrics JSONL — see :mod:`repro.obs.export`),
+    and ``profile`` turns on wall-clock phase timing surfaced in the
+    report's ``profile`` section.  Both are digest-neutral: spans carry
+    logical clocks only, and the profile section is excluded from
+    :meth:`MatrixReport.canonical_dict`.
     """
     if workers is not None and workers != 1:
         from ..exec.runner import run_matrix_parallel
@@ -545,22 +585,71 @@ def run_matrix(
             keep_results=keep_results,
             progress=progress,
             trace_dir=trace_dir,
+            obs_dir=obs_dir,
+            profile=profile,
         )
     cells, skipped = matrix.expand()
+    run_profile = PhaseProfile("sequential") if profile else None
+    obs_path = _obs_export.export_dir(obs_dir) if obs_dir is not None else None
+    shard_tracer = SpanRecorder() if obs_path is not None else None
     networks: Dict[str, Network] = {}
     cell_results: List[CellResult] = []
     results: List[WorkloadResult] = []
-    for position, cell in enumerate(cells):
-        network: Optional[Network] = None
-        if share_networks:
-            network = shared_network_for(networks, cell.spec)
-        cell_result, result = run_cell(cell, network=network)
-        cell_results.append(cell_result)
-        if trace_dir is not None:
-            write_cell_trace(trace_dir, position, result)
-        if keep_results:
-            results.append(result)
-        if progress is not None:
-            progress(position + 1, len(cells))
+    metrics_fp = None
+    try:
+        if obs_path is not None:
+            metrics_fp = open(
+                _obs_export.metrics_path(obs_path), "w", encoding="utf-8"
+            )
+        with profiling(run_profile):
+            shard_span = None
+            if shard_tracer is not None:
+                shard_span = shard_tracer.begin("shard", shard=0, cells=len(cells))
+            for position, cell in enumerate(cells):
+                network: Optional[Network] = None
+                if share_networks:
+                    network = shared_network_for(networks, cell.spec)
+                cell_tracer = SpanRecorder() if obs_path is not None else None
+                with phase(CELL_RUN):
+                    cell_result, result = run_cell(
+                        cell, network=network, tracer=cell_tracer
+                    )
+                cell_results.append(cell_result)
+                if obs_path is not None:
+                    cell_tracer.to_path(
+                        _obs_export.cell_span_path(obs_path, position)
+                    )
+                    metrics_fp.write(_obs_export.dump_metrics_line(
+                        position,
+                        {
+                            "name": cell.spec.name,
+                            "topology": cell.topology,
+                            "strategy": cell.strategy,
+                            "regime": cell.regime,
+                        },
+                        result.metrics.registry,
+                    ))
+                    shard_tracer.set_clock(float(position))
+                    shard_tracer.event(
+                        "cell-run", position=position, cell=cell.spec.name
+                    )
+                if trace_dir is not None:
+                    write_cell_trace(trace_dir, position, result)
+                if keep_results:
+                    results.append(result)
+                if progress is not None:
+                    progress(position + 1, len(cells))
+            if shard_tracer is not None:
+                shard_tracer.end(shard_span, cells=len(cells))
+                shard_tracer.to_path(_obs_export.shard_span_path(obs_path, 0))
+    finally:
+        if metrics_fp is not None:
+            metrics_fp.close()
     report = MatrixReport(matrix.to_dict(), cell_results, skipped)
+    if run_profile is not None:
+        if obs_path is not None:
+            _obs_export.write_profiles(
+                _obs_export.profile_path(obs_path), [run_profile]
+            )
+        report.attach_profile(_obs_export.profiles_dict([run_profile]))
     return report, results

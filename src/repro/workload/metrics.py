@@ -2,128 +2,145 @@
 
 The paper compares strategies by worst-case and average message counts; a
 production service is judged by distributions — tail percentiles, hit
-rates, hotspots.  :class:`HopHistogram` is an exact integer histogram (hop
-counts are small integers, so percentiles cost O(distinct values), not
-O(samples)), and :class:`WorkloadMetrics` aggregates one run's request
-stream, churn activity and per-node load into a deterministic summary.
+rates, hotspots.  Every measurement here is an instrument in a
+:class:`~repro.obs.registry.MetricsRegistry`: counters for the request
+stream, counter families for churn/fault activity and per-node load, exact
+integer histograms (:class:`HopHistogram`) for hop distributions.  Because
+registry merges are associative, two runs' metrics — or one matrix's
+per-cell metrics — fold together exactly like matrix cells do, and the
+merged percentiles equal the ones a single combined run would report.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from ..obs.registry import CounterMap, Histogram, MetricsRegistry
 
-class HopHistogram:
-    """An exact histogram of small non-negative integer samples."""
+
+class HopHistogram(Histogram):
+    """An exact histogram of small non-negative integer hop samples.
+
+    A thin name over :class:`~repro.obs.registry.Histogram` in exact mode:
+    hop counts are small integers, so percentiles cost O(distinct values),
+    not O(samples), and ``merge`` adds bucket counts exactly.
+    """
 
     def __init__(self) -> None:
-        self._counts: Dict[int, int] = {}
-        self._total = 0
-        self._sum = 0
-
-    def add(self, value: int, count: int = 1) -> None:
-        """Record ``count`` samples of ``value``."""
-        if value < 0 or count < 1:
-            raise ValueError("value must be >= 0 and count >= 1")
-        self._counts[value] = self._counts.get(value, 0) + count
-        self._total += count
-        self._sum += value * count
-
-    @property
-    def count(self) -> int:
-        """Number of samples recorded."""
-        return self._total
-
-    @property
-    def mean(self) -> float:
-        """Sample mean (0.0 when empty)."""
-        return self._sum / self._total if self._total else 0.0
-
-    @property
-    def max(self) -> int:
-        """Largest sample (0 when empty)."""
-        return max(self._counts) if self._counts else 0
-
-    def percentile(self, p: float) -> int:
-        """The nearest-rank ``p``-th percentile (0 when empty)."""
-        if not 0 < p <= 100:
-            raise ValueError("p must be in (0, 100]")
-        if not self._total:
-            return 0
-        rank = max(1, -(-self._total * p // 100))  # ceil without floats
-        seen = 0
-        for value in sorted(self._counts):
-            seen += self._counts[value]
-            if seen >= rank:
-                return value
-        return self.max  # pragma: no cover - unreachable
-
-    def to_dict(self) -> Dict[str, object]:
-        """Mean, tail percentiles and max — the summary a dashboard shows."""
-        return {
-            "count": self._total,
-            "mean": round(self.mean, 3),
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
-            "max": self.max,
-        }
-
-    def buckets(self) -> List[Tuple[int, int]]:
-        """Sorted ``(value, count)`` pairs (the raw histogram)."""
-        return sorted(self._counts.items())
+        super().__init__(buckets=None)
 
 
-@dataclass
 class WorkloadMetrics:
-    """Aggregated measurements of one workload run."""
+    """Aggregated measurements of one workload run, registry-backed.
 
-    requests: int = 0
-    successes: int = 0
-    failures: int = 0
-    #: Requests served straight from the client's address cache (no locate).
-    cache_hits: int = 0
-    locates: int = 0
-    stale_retries: int = 0
-    churn_events: Dict[str, int] = field(default_factory=dict)
-    #: Substrate fault-timeline events executed during the run (crash waves,
-    #: link flaps, partitions...), by trace-op kind.  Separate from
-    #: ``churn_events``, which counts population churn.
-    fault_events: Dict[str, int] = field(default_factory=dict)
-    #: Hops spent on match-making (query + reply) per request.
-    locate_hops: HopHistogram = field(default_factory=HopHistogram)
-    #: Total hops (match-making + payload round trip) per request.
-    request_hops: HopHistogram = field(default_factory=HopHistogram)
-    #: Delivered messages per node over the run (load balance).
-    node_load: Dict[Hashable, int] = field(default_factory=dict)
-    #: Total nodes in the network (so unloaded nodes count toward balance).
-    universe_size: int = 0
+    The public shape is unchanged from the pre-registry implementation —
+    integer properties (``requests``, ``cache_hits``...), dict-shaped
+    counter families (``churn_events``, ``fault_events``, ``node_load``)
+    and :class:`HopHistogram` handles — but every instrument now lives in
+    one :class:`~repro.obs.registry.MetricsRegistry`, so whole-run metrics
+    :meth:`merge` associatively and export losslessly (histogram buckets
+    included) for ``python -m repro obs``.
+    """
+
+    def __init__(self, universe_size: int = 0) -> None:
+        registry = MetricsRegistry()
+        self._registry = registry
+        self._requests = registry.counter("requests")
+        self._successes = registry.counter("successes")
+        self._failures = registry.counter("failures")
+        #: Requests served straight from the client's address cache (no
+        #: locate).
+        self._cache_hits = registry.counter("cache_hits")
+        self._locates = registry.counter("locates")
+        self._stale_retries = registry.counter("stale_retries")
+        #: Resolved population-churn events by kind.
+        self.churn_events: CounterMap = registry.counter_map("churn_events")
+        #: Substrate fault-timeline events executed during the run (crash
+        #: waves, link flaps, partitions...), by trace-op kind.  Separate
+        #: from ``churn_events``, which counts population churn.
+        self.fault_events: CounterMap = registry.counter_map("fault_events")
+        #: Hops spent on match-making (query + reply) per request.
+        self.locate_hops: HopHistogram = registry.register(
+            "locate_hops", HopHistogram()
+        )
+        #: Total hops (match-making + payload round trip) per request.
+        self.request_hops: HopHistogram = registry.register(
+            "request_hops", HopHistogram()
+        )
+        #: Delivered messages per node over the run (load balance).
+        self.node_load: CounterMap = registry.counter_map("node_load")
+        #: Total nodes in the network (so unloaded nodes count toward
+        #: balance).  A gauge: merging runs keeps the largest universe.
+        self._universe = registry.gauge("universe_size")
+        self._universe.set(universe_size)
+
+    # -- registry plumbing ----------------------------------------------------
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The backing registry (what the obs export serializes)."""
+        return self._registry
+
+    def merge(self, other: "WorkloadMetrics") -> None:
+        """Fold another run's metrics in — associative, like matrix cells."""
+        self._registry.merge(other._registry)
+
+    # -- counter properties (read shape of the old dataclass fields) ----------
+
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def successes(self) -> int:
+        return self._successes.value
+
+    @property
+    def failures(self) -> int:
+        return self._failures.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_hits.value
+
+    @property
+    def locates(self) -> int:
+        return self._locates.value
+
+    @property
+    def stale_retries(self) -> int:
+        return self._stale_retries.value
+
+    @property
+    def universe_size(self) -> int:
+        return int(self._universe.value)
+
+    # -- observation ----------------------------------------------------------
 
     def observe_request(
         self, ok: bool, locates: int, retries: int, from_cache: bool,
         locate_hops: int, total_hops: int,
     ) -> None:
         """Fold one request's outcome into the aggregates."""
-        self.requests += 1
+        self._requests.inc()
         if ok:
-            self.successes += 1
+            self._successes.inc()
         else:
-            self.failures += 1
+            self._failures.inc()
         if from_cache and locates == 0:
-            self.cache_hits += 1
-        self.locates += locates
-        self.stale_retries += retries
+            self._cache_hits.inc()
+        self._locates.inc(locates)
+        self._stale_retries.inc(retries)
         self.locate_hops.add(locate_hops)
         self.request_hops.add(total_hops)
 
     def observe_churn(self, kind: str) -> None:
         """Count one resolved churn event."""
-        self.churn_events[kind] = self.churn_events.get(kind, 0) + 1
+        self.churn_events.bump(kind)
 
     def observe_fault(self, kind: str) -> None:
         """Count one executed fault-timeline event."""
-        self.fault_events[kind] = self.fault_events.get(kind, 0) + 1
+        self.fault_events.bump(kind)
 
     # -- derived quantities ---------------------------------------------------
 

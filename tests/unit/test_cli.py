@@ -1,4 +1,4 @@
-"""The ``python -m repro`` command line: run, matrix, replay.
+"""The ``python -m repro`` command line: run, matrix, obs, replay.
 
 Each subcommand is exercised through ``repro.cli.main`` with real files in
 a temp directory: specs load from JSON, results and reports land where
@@ -11,6 +11,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.obs.tools import summarize_export
 from repro.workload import (
     ArrivalSpec,
     MatrixReport,
@@ -127,6 +128,57 @@ class TestReplay:
         out.write_text(json.dumps(tampered))
         capsys.readouterr()
         assert main(["replay", str(trace), "--expect", str(out)]) == 1
+
+
+class TestObs:
+    def test_run_obs_export_then_summarize(self, spec_file, tmp_path, capsys):
+        obs_dir = tmp_path / "obs"
+        assert main(["run", str(spec_file), "--obs", str(obs_dir)]) == 0
+        assert (obs_dir / "spans-cell-0000.jsonl").exists()
+        assert (obs_dir / "metrics.jsonl").exists()
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(obs_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "cells: 1" in output
+        assert "locate_hops" in output
+        assert "request" in output  # the span breakdown section
+
+    def test_summarize_json_matches_the_library(
+        self, spec_file, tmp_path, capsys
+    ):
+        obs_dir = tmp_path / "obs"
+        main(["run", str(spec_file), "--obs", str(obs_dir)])
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(obs_dir), "--json"]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed == json.loads(
+            json.dumps(summarize_export(obs_dir))
+        )
+
+    def test_matrix_obs_profile_then_diff(self, matrix_file, tmp_path, capsys):
+        dir_a, dir_b = tmp_path / "a", tmp_path / "b"
+        for obs_dir in (dir_a, dir_b):
+            assert main([
+                "matrix", str(matrix_file), "--obs", str(obs_dir),
+                "--profile", "--no-progress",
+            ]) == 0
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(dir_a)]) == 0
+        assert "profile:" in capsys.readouterr().out
+        # Two runs of the same grid export identical metrics and spans.
+        assert main(["obs", "diff", str(dir_a), str(dir_b)]) == 0
+        diff_text = capsys.readouterr().out
+        assert diff_text.count("(no differences)") == 2
+        assert main([
+            "obs", "diff", str(dir_a), str(dir_b), "--json",
+        ]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["metrics"] == {} and printed["spans"] == {}
+
+    def test_summarize_empty_directory_exits_two(self, tmp_path):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        assert main(["obs", "summarize", str(empty)]) == 2
 
 
 class TestErrors:

@@ -183,9 +183,16 @@ class TestSpool:
         assert record["cell"]["strategy"] == "checkerboard"
 
 
+class _TtyStringIO(io.StringIO):
+    """A capture stream that claims to be a terminal."""
+
+    def isatty(self):
+        return True
+
+
 class TestProgressReporter:
     def test_renders_percent_elapsed_and_finishes_with_newline(self):
-        stream = io.StringIO()
+        stream = _TtyStringIO()
         report = ProgressReporter(stream=stream, min_interval=0.0)
         report(1, 4)
         report(4, 4)
@@ -200,12 +207,40 @@ class TestProgressReporter:
         assert output.endswith("\n")
 
     def test_repeated_counts_are_deduplicated(self):
-        stream = io.StringIO()
+        stream = _TtyStringIO()
         report = ProgressReporter(stream=stream, min_interval=0.0)
         report(2, 2)
         report(2, 2)
         report(2, 2)
         assert stream.getvalue().count("2/2") == 1
+
+    def test_non_tty_stream_gets_plain_newline_lines(self):
+        # A redirected/CI stream must never see in-place \r rewrites —
+        # they smear every update onto one unreadable line in a log file.
+        stream = io.StringIO()
+        assert not stream.isatty()
+        report = ProgressReporter(stream=stream, min_interval=0.0)
+        report(1, 4)
+        report(4, 4)
+        output = stream.getvalue()
+        assert "\r" not in output
+        lines = output.splitlines()
+        assert lines[0].startswith("cells 1/4 (25%)")
+        assert lines[-1] == "cells 4/4 (100%) elapsed 0s"
+        # No padding games off-terminal: every line is exactly its body.
+        assert all(line == line.rstrip() for line in lines)
+
+    def test_non_tty_throttle_floors_to_plain_interval(self):
+        # One log line per second is plenty; the final update still lands.
+        stream = io.StringIO()
+        report = ProgressReporter(stream=stream, min_interval=0.0)
+        report(1, 100)
+        report(2, 100)   # throttled: inside PLAIN_INTERVAL
+        report(100, 100)  # finished: always emitted
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("cells 1/100")
+        assert lines[1].startswith("cells 100/100")
 
     def test_format_seconds(self):
         assert format_seconds(12.4) == "12s"
