@@ -9,7 +9,7 @@ used to check asymptotic claims (e.g. that measured cost grows like
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 
 def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:

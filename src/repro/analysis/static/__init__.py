@@ -1,0 +1,50 @@
+"""Static analysis for the repo's reproducibility invariants.
+
+The runtime parity suite proves byte-exact replay *after the fact*; this
+package proves the absence of whole classes of determinism bugs *before a
+run ever happens*.  It is a source-level analyzer purpose-built for this
+repository's three invariant families:
+
+determinism (DET)
+    no wall-clock reads, unseeded randomness, ``hash()``/``uuid`` values or
+    unsorted set iteration anywhere results, traces or digests can see;
+pickle safety (PKL)
+    nothing that crosses the exec-engine process boundary may carry a live
+    ``Network``, lock, callable or file handle;
+digest neutrality (OBS/MRG)
+    observability metadata must stay provably outside the canonical digest,
+    and every registered metric type must merge associatively.
+
+A call-graph reachability pass (:mod:`.callgraph`) scopes the DET rules to
+digest-affecting code instead of spamming the whole tree; inline pragmas
+(``# repro: allow[DET001] — reason``) and a committed JSON baseline handle
+the residue.  ``python -m repro analyze`` is the CLI; CI runs it with
+``--strict`` on every push.
+"""
+
+from .config import AnalysisConfig
+from .engine import (
+    AnalysisError,
+    AnalysisSession,
+    analyze_paths,
+    load_baseline,
+    render_findings,
+    session_dict,
+    write_baseline,
+)
+from .findings import Finding
+from .rules import RULES, rule_table
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisError",
+    "AnalysisSession",
+    "Finding",
+    "RULES",
+    "analyze_paths",
+    "load_baseline",
+    "render_findings",
+    "rule_table",
+    "session_dict",
+    "write_baseline",
+]

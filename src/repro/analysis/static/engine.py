@@ -1,0 +1,270 @@
+"""Analysis driver: file discovery, rule dispatch, pragmas, baselines.
+
+The engine turns a set of paths into an :class:`AnalysisSession`:
+
+1. discover ``.py`` files (sorted, ``__pycache__`` skipped) and parse each
+   into a :class:`~.callgraph.ModuleView`;
+2. build the project call graph and the digest-affecting cone;
+3. run every enabled rule, seed PRG001 from malformed pragmas;
+4. drop findings waived by well-formed pragmas (recording the reason);
+5. split the remainder against the committed baseline into *new* and
+   *baselined*, and report baseline entries that no longer match anything
+   as *stale*.
+
+Exit-code policy lives in the CLI: new findings fail the gate; stale
+baseline entries additionally fail it under ``--strict``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .callgraph import ModuleView, ProjectIndex, build_module_view
+from .config import DEFAULT_CONFIG, AnalysisConfig
+from .findings import Finding, number_occurrences
+from .pragmas import PragmaIndex, scan_pragmas
+from .rules import CHECKERS, RULES
+
+BASELINE_VERSION = 1
+
+
+class AnalysisError(Exception):
+    """Unusable input (missing path, syntax error, bad baseline file)."""
+
+
+@dataclass
+class AnalysisSession:
+    """Everything one analyzer run learned, pre-partitioned for reporting."""
+
+    #: Active (unsuppressed) findings, occurrence-numbered, report order.
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings waived by a pragma, with the pragma's reason.
+    suppressed: List[Tuple[Finding, str]] = field(default_factory=list)
+    #: Active findings absent from the baseline — these fail the gate.
+    new: List[Finding] = field(default_factory=list)
+    #: Active findings matched by a baseline fingerprint.
+    baselined: List[Finding] = field(default_factory=list)
+    #: Baseline entries whose fingerprint matched nothing (fixed code).
+    stale_baseline: List[Dict[str, object]] = field(default_factory=list)
+    #: Number of files scanned.
+    files: int = 0
+    #: Size of the digest-affecting cone (diagnostic).
+    cone_size: int = 0
+
+
+def _discover_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                candidate for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.is_file() and path.suffix == ".py":
+            files.append(path)
+        else:
+            raise AnalysisError(f"not a python file or directory: {path}")
+    unique = {file.resolve(): file for file in files}
+    return [unique[key] for key in sorted(unique, key=lambda p: p.as_posix())]
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module for ``path``, walking up through ``__init__.py`` dirs."""
+    resolved = path.resolve()
+    parts: List[str] = []
+    if resolved.name != "__init__.py":
+        parts.append(resolved.stem)
+    cursor = resolved.parent
+    while (cursor / "__init__.py").is_file():
+        parts.append(cursor.name)
+        cursor = cursor.parent
+    return ".".join(reversed(parts)) or resolved.stem
+
+
+def _display_path(path: Path) -> str:
+    """Repo-relative when possible (stable across checkouts), else as given."""
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _load_views(files: Sequence[Path]) -> List[ModuleView]:
+    views: List[ModuleView] = []
+    for file in files:
+        try:
+            source = file.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {file}: {exc}") from exc
+        try:
+            views.append(build_module_view(
+                _display_path(file), _module_name(file), source
+            ))
+        except SyntaxError as exc:
+            raise AnalysisError(
+                f"syntax error in {file}:{exc.lineno}: {exc.msg}"
+            ) from exc
+    return views
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    config: AnalysisConfig = DEFAULT_CONFIG,
+    baseline: Optional[Dict[str, Dict[str, object]]] = None,
+) -> AnalysisSession:
+    """Run every enabled rule over ``paths`` and partition the results."""
+    files = _discover_files([Path(p) for p in paths])
+    views = _load_views(files)
+    project = ProjectIndex(views)
+    cone = project.digest_cone(config.entry_points, config.digest_sinks)
+
+    active: List[Finding] = []
+    suppressed: List[Tuple[Finding, str]] = []
+    for view in views:
+        pragmas, problems = scan_pragmas(view.source_lines)
+        index = PragmaIndex(pragmas)
+        raw: List[Finding] = []
+        if "PRG001" not in config.disabled_rules:
+            raw.extend(
+                Finding(
+                    rule="PRG001", path=view.path, line=problem.line,
+                    col=problem.col, message=problem.message,
+                    module=view.module, snippet=problem.snippet,
+                )
+                for problem in problems
+            )
+        for rule_id, checker in CHECKERS.items():
+            if rule_id in config.disabled_rules:
+                continue
+            raw.extend(checker(view, project, config, cone))
+        for finding in raw:
+            # PRG001 is deliberately unsuppressable: a pragma cannot waive
+            # the rule that checks pragmas.
+            if finding.rule != "PRG001" and \
+                    index.allows(finding.line, finding.rule):
+                suppressed.append((finding, index.reason(finding.line)))
+            else:
+                active.append(finding)
+
+    session = AnalysisSession(
+        findings=number_occurrences(active),
+        suppressed=sorted(suppressed, key=lambda pair: pair[0].sort_key()),
+        files=len(views),
+        cone_size=len(cone),
+    )
+    known = dict(baseline or {})
+    for finding in session.findings:
+        fingerprint = finding.fingerprint()
+        if fingerprint in known:
+            session.baselined.append(finding)
+            known.pop(fingerprint)
+        else:
+            session.new.append(finding)
+    session.stale_baseline = [
+        dict(entry, fingerprint=fingerprint)
+        for fingerprint, entry in sorted(known.items())
+    ]
+    return session
+
+
+# -- baseline I/O -------------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> Dict[str, Dict[str, object]]:
+    """Read a committed baseline into a fingerprint-keyed mapping."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"baseline {path} is not JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise AnalysisError(
+            f"baseline {path} must be an object with a 'findings' list"
+        )
+    baseline: Dict[str, Dict[str, object]] = {}
+    for entry in payload["findings"]:
+        fingerprint = str(entry.get("fingerprint", ""))
+        if fingerprint:
+            baseline[fingerprint] = {
+                key: value for key, value in entry.items()
+                if key != "fingerprint"
+            }
+    return baseline
+
+
+def write_baseline(path: Path, session: AnalysisSession) -> None:
+    """Persist the session's active findings as the new baseline."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            finding.to_dict()
+            for finding in sorted(session.findings, key=Finding.sort_key)
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+# -- reporting ----------------------------------------------------------------------
+
+
+def render_findings(session: AnalysisSession, verbose: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines: List[str] = []
+    baselined = {id(finding) for finding in session.baselined}
+    for finding in session.findings:
+        marker = " [baselined]" if id(finding) in baselined else ""
+        lines.append(finding.render() + marker)
+    if verbose and session.suppressed:
+        lines.append("")
+        lines.append("suppressed by pragma:")
+        for finding, reason in session.suppressed:
+            lines.append(f"  {finding.render()} — {reason}")
+    for entry in session.stale_baseline:
+        lines.append(
+            "stale baseline entry %s (%s %s) no longer matches any finding"
+            % (entry.get("fingerprint"), entry.get("rule"),
+               entry.get("snippet", ""))
+        )
+    if lines:
+        lines.append("")
+    lines.append(
+        "%d finding(s): %d new, %d baselined; %d suppressed by pragma; "
+        "%d stale baseline entr(y/ies); %d file(s), cone=%d"
+        % (len(session.findings), len(session.new), len(session.baselined),
+           len(session.suppressed), len(session.stale_baseline),
+           session.files, session.cone_size)
+    )
+    return "\n".join(lines)
+
+
+def session_dict(session: AnalysisSession) -> Dict[str, object]:
+    """JSON-safe form of the session (the ``--json``/CI artifact shape)."""
+    return {
+        "summary": {
+            "files": session.files,
+            "cone_size": session.cone_size,
+            "findings": len(session.findings),
+            "new": len(session.new),
+            "baselined": len(session.baselined),
+            "suppressed": len(session.suppressed),
+            "stale_baseline": len(session.stale_baseline),
+        },
+        "rules": {
+            rule_id: {"title": title, "description": description}
+            for rule_id, (title, description) in RULES.items()
+        },
+        "findings": [finding.to_dict() for finding in session.findings],
+        "new": [finding.fingerprint() for finding in session.new],
+        "suppressed": [
+            dict(finding.to_dict(), reason=reason)
+            for finding, reason in session.suppressed
+        ],
+        "stale_baseline": session.stale_baseline,
+    }

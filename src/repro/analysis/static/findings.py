@@ -1,0 +1,90 @@
+"""The analyzer's unit of output: one located, fingerprintable finding.
+
+A finding pins a rule violation to a file/line/column plus the enclosing
+function, and carries a machine-stable *fingerprint* — a hash of the rule,
+module, symbol and offending source text, deliberately excluding line
+numbers so committed baselines survive unrelated edits above a finding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Dotted module the file maps to (``repro.core.strategy``).
+    module: str = ""
+    #: Qualified enclosing function/method, or ``""`` at module level.
+    symbol: str = ""
+    #: The stripped offending source line (for reports and fingerprints).
+    snippet: str = ""
+    #: Occurrence index among identical (rule, module, symbol, snippet)
+    #: findings, so duplicates fingerprint distinctly.
+    occurrence: int = field(default=0, compare=False)
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline."""
+        basis = "|".join(
+            (self.rule, self.module, self.symbol, self.snippet,
+             str(self.occurrence))
+        )
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    def sort_key(self):
+        """Stable report order: path, line, column, rule."""
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (what ``--json`` and the CI artifact emit)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "module": self.module,
+            "symbol": self.symbol,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        """One human-readable report line."""
+        where = f"{self.path}:{self.line}:{self.col}"
+        return f"{where} {self.rule} {self.message}"
+
+
+def number_occurrences(findings: List[Finding]) -> List[Finding]:
+    """Assign occurrence indices so identical findings fingerprint apart.
+
+    Two findings are "identical" when rule, module, symbol and snippet all
+    match (e.g. the same offending call twice in one function); numbering
+    them keeps baseline fingerprints one-to-one with findings.
+    """
+    counts: Dict[str, int] = {}
+    numbered: List[Finding] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        basis = "|".join(
+            (finding.rule, finding.module, finding.symbol, finding.snippet)
+        )
+        seen = counts.get(basis, 0)
+        counts[basis] = seen + 1
+        if seen:
+            finding = Finding(
+                rule=finding.rule, path=finding.path, line=finding.line,
+                col=finding.col, message=finding.message,
+                module=finding.module, symbol=finding.symbol,
+                snippet=finding.snippet, occurrence=seen,
+            )
+        numbered.append(finding)
+    return numbered

@@ -1,0 +1,147 @@
+"""Inline suppression pragmas: ``# repro: allow[RULE] — reason``.
+
+A pragma names the rule id(s) it waives and *must* carry a human reason —
+an allowance without a justification is itself a finding (PRG001), because
+an unexplained suppression is exactly the kind of silent determinism debt
+this analyzer exists to prevent.  A pragma covers findings on its own
+physical line, or — when it is a comment-only line — on the line directly
+below it.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+#: ``# repro: allow[DET001]`` or ``# repro: allow[DET001,PKL001]``, with
+#: whatever separator punctuation before the reason people naturally type.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+_RULE_ID_RE = re.compile(r"^[A-Z]{3}\d{3}$")
+#: Punctuation tolerated between ``]`` and the reason text.
+_SEPARATORS = " \t—–:-"
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int
+    rules: FrozenSet[str]
+    reason: str
+    #: True when the pragma sits on a comment-only line (then it covers the
+    #: next line instead of its own).
+    standalone: bool
+
+
+@dataclass(frozen=True)
+class PragmaProblem:
+    """A malformed pragma (missing reason, bad rule id) — a PRG001 seed."""
+
+    line: int
+    col: int
+    message: str
+    snippet: str
+
+
+def _comment_tokens(
+    source_lines: Sequence[str],
+) -> List[Tuple[int, int, str]]:
+    """``(line, col, text)`` of every real comment token.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps pragma syntax
+    quoted in docstrings and string literals — like the examples in this
+    module — from parsing as live pragmas.
+    """
+    source = "\n".join(source_lines) + "\n"
+    comments: List[Tuple[int, int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append(
+                    (token.start[0], token.start[1], token.string)
+                )
+    except (tokenize.TokenError, IndentationError):
+        # The engine only scans files that already parsed via ast, so this
+        # is unreachable in practice; degrade to "no pragmas" regardless.
+        return []
+    return comments
+
+
+def scan_pragmas(
+    source_lines: Sequence[str],
+) -> Tuple[List[Pragma], List[PragmaProblem]]:
+    """Extract every pragma (and every malformed one) from a file's lines."""
+    pragmas: List[Pragma] = []
+    problems: List[PragmaProblem] = []
+    for index, offset, comment in _comment_tokens(source_lines):
+        match = _PRAGMA_RE.search(comment)
+        if match is None:
+            continue
+        raw = source_lines[index - 1] if index <= len(source_lines) else ""
+        snippet = raw.strip()
+        col = offset + match.start() + 1
+        rule_ids = [
+            token.strip() for token in match.group("rules").split(",")
+            if token.strip()
+        ]
+        bad_ids = [rid for rid in rule_ids if not _RULE_ID_RE.match(rid)]
+        reason = match.group("reason").lstrip(_SEPARATORS).strip()
+        if not rule_ids:
+            problems.append(PragmaProblem(
+                line=index, col=col, snippet=snippet,
+                message="pragma names no rule id (use allow[DET001, ...])",
+            ))
+            continue
+        if bad_ids:
+            problems.append(PragmaProblem(
+                line=index, col=col, snippet=snippet,
+                message=(
+                    f"pragma has malformed rule id(s) {sorted(bad_ids)}; "
+                    f"ids look like DET001"
+                ),
+            ))
+            continue
+        if not reason:
+            problems.append(PragmaProblem(
+                line=index, col=col, snippet=snippet,
+                message=(
+                    "pragma is missing its reason — write "
+                    "`# repro: allow[%s] — why this is safe`"
+                    % ",".join(rule_ids)
+                ),
+            ))
+            continue
+        pragmas.append(Pragma(
+            line=index,
+            rules=frozenset(rule_ids),
+            reason=reason,
+            standalone=snippet.startswith("#"),
+        ))
+    return pragmas, problems
+
+
+class PragmaIndex:
+    """Fast "is line L of this file waived for rule R?" lookups."""
+
+    def __init__(self, pragmas: Sequence[Pragma]) -> None:
+        #: line -> union of rule ids allowed on that line.
+        self._by_line: Dict[int, FrozenSet[str]] = {}
+        self._reasons: Dict[int, str] = {}
+        for pragma in pragmas:
+            target = pragma.line + 1 if pragma.standalone else pragma.line
+            merged = self._by_line.get(target, frozenset()) | pragma.rules
+            self._by_line[target] = merged
+            self._reasons[target] = pragma.reason
+
+    def allows(self, line: int, rule: str) -> bool:
+        """Whether a finding of ``rule`` at ``line`` is suppressed."""
+        return rule in self._by_line.get(line, frozenset())
+
+    def reason(self, line: int) -> str:
+        """The reason attached to the pragma covering ``line`` (or '')."""
+        return self._reasons.get(line, "")

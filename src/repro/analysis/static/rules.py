@@ -1,0 +1,540 @@
+"""The rule engine: seven repo-specific invariant checks over the AST.
+
+Determinism (scoped to the digest-affecting cone, see :mod:`.callgraph`):
+
+DET001  wall-clock reads outside declared profile zones
+DET002  draws from the module-level ``random.*`` generator
+DET003  ``hash()``/``id()``/``uuid*``/``os.urandom`` values (PYTHONHASHSEED
+        and run-unique hazards)
+DET004  iteration over unordered set expressions without ``sorted(...)``
+
+Process-boundary and digest-neutrality invariants (cone-independent):
+
+PKL001  unpicklable fields on classes that cross the exec-engine boundary
+OBS001  ``to_dict`` keys that are neither canonical nor declared in the
+        digest-exclusion manifest
+MRG001  metric types registered without an associative ``merge``
+
+PRG001 (malformed suppression pragmas) is seeded by the engine from
+:mod:`.pragmas`; it is listed here so reports and docs enumerate every id.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from .callgraph import (
+    FunctionNode,
+    ModuleView,
+    ProjectIndex,
+    resolve_call_target,
+)
+from .config import AnalysisConfig
+from .findings import Finding
+
+#: Rule id -> (title, one-line description).  Order is report order.
+RULES: Dict[str, Tuple[str, str]] = {
+    "DET001": (
+        "wall-clock read in digest-affecting code",
+        "time.time/perf_counter/monotonic/datetime.now may only appear in "
+        "declared profile zones (repro.obs.profile, repro.exec.progress) or "
+        "under a pragma naming the digest-excluded field they feed.",
+    ),
+    "DET002": (
+        "module-level random draw",
+        "random.random/choice/shuffle/... use the shared global generator; "
+        "thread a seeded random.Random through instead so streams cannot "
+        "perturb each other.",
+    ),
+    "DET003": (
+        "PYTHONHASHSEED / run-unique value source",
+        "builtin hash()/id(), uuid*, os.urandom and secrets.* vary across "
+        "interpreter runs; digest-affecting values must come from hashlib "
+        "or seeded generators.",
+    ),
+    "DET004": (
+        "unsorted set iteration in digest-affecting code",
+        "iterating a set/frozenset (or a union/intersection of P/Q sets) "
+        "visits elements in hash order; wrap the expression in sorted(...).",
+    ),
+    "PKL001": (
+        "unpicklable field on a process-boundary class",
+        "classes shipped through the exec engine (cells, specs, results, "
+        "traces, metrics) must not hold Network/planner refs, locks, "
+        "callables or file handles.",
+    ),
+    "OBS001": (
+        "undeclared digest exclusion",
+        "every to_dict key must either survive into canonical_dict or be "
+        "listed in the digest-exclusion manifest and neutralized there; "
+        "observability metadata stays provably digest-neutral.",
+    ),
+    "MRG001": (
+        "metric type without an associative merge",
+        "anything registered in a MetricsRegistry (or subclassing an "
+        "instrument base) must define or inherit merge(), or sharded runs "
+        "cannot fold its values deterministically.",
+    ),
+    "PRG001": (
+        "malformed suppression pragma",
+        "# repro: allow[RULE] pragmas must name well-formed rule ids and "
+        "carry a non-empty reason; PRG001 itself cannot be suppressed.",
+    ),
+}
+
+
+def rule_table() -> List[Dict[str, str]]:
+    """Rule metadata rows for ``--rules`` output and docs."""
+    return [
+        {"id": rule_id, "title": title, "description": description}
+        for rule_id, (title, description) in RULES.items()
+    ]
+
+
+# -- shared AST helpers -------------------------------------------------------------
+
+
+def _scope_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """Nodes belonging to ``root``'s own scope.
+
+    Descends through everything except nested function definitions, which
+    are separate :class:`FunctionNode` scopes with their own cone
+    membership.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _toplevel_nodes(view: ModuleView) -> Iterator[ast.AST]:
+    """Module- and class-level statements (code that runs at import)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(view.tree))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _relevant_scopes(
+    view: ModuleView, cone: frozenset
+) -> Iterator[Tuple[Optional[FunctionNode], Iterator[ast.AST]]]:
+    """Scopes the DET rules look at: cone functions plus import-time code.
+
+    Yields ``(function, nodes)`` pairs; ``function`` is ``None`` for the
+    module's import-time statements, which are always digest-relevant (they
+    run before any engine can scope them).
+    """
+    yield None, _toplevel_nodes(view)
+    for function in view.functions:
+        if function.qualname in cone:
+            yield function, _scope_nodes(function.node)
+
+
+def _finding(
+    view: ModuleView,
+    rule: str,
+    node: ast.AST,
+    message: str,
+    function: Optional[FunctionNode],
+) -> Finding:
+    line = getattr(node, "lineno", 0)
+    return Finding(
+        rule=rule,
+        path=view.path,
+        line=line,
+        col=getattr(node, "col_offset", 0) + 1,
+        message=message,
+        module=view.module,
+        symbol=function.qualname if function is not None else "",
+        snippet=view.source_line(line),
+    )
+
+
+# -- DET001 / DET002 / DET003: forbidden calls in the cone --------------------------
+
+
+def check_det001(
+    view: ModuleView, project: ProjectIndex, config: AnalysisConfig,
+    cone: frozenset,
+) -> List[Finding]:
+    if config.zone_allows_wall_clock(view.module):
+        return []
+    findings: List[Finding] = []
+    for function, nodes in _relevant_scopes(view, cone):
+        for node in nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            dotted, _ = resolve_call_target(node.func, view.imports)
+            if dotted in config.wall_clock_calls:
+                findings.append(_finding(
+                    view, "DET001", node,
+                    f"wall-clock read {dotted}() in digest-affecting code — "
+                    f"move it into a profile zone or pragma the "
+                    f"digest-excluded field it feeds",
+                    function,
+                ))
+    return findings
+
+
+def check_det002(
+    view: ModuleView, project: ProjectIndex, config: AnalysisConfig,
+    cone: frozenset,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for function, nodes in _relevant_scopes(view, cone):
+        for node in nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            dotted, _ = resolve_call_target(node.func, view.imports)
+            if dotted in config.global_random_calls:
+                findings.append(_finding(
+                    view, "DET002", node,
+                    f"{dotted}() draws from the shared module-level "
+                    f"generator — thread a seeded random.Random instead",
+                    function,
+                ))
+    return findings
+
+
+def check_det003(
+    view: ModuleView, project: ProjectIndex, config: AnalysisConfig,
+    cone: frozenset,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for function, nodes in _relevant_scopes(view, cone):
+        for node in nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            dotted, terminal = resolve_call_target(node.func, view.imports)
+            hazard: Optional[str] = None
+            if isinstance(node.func, ast.Name) and \
+                    node.func.id in ("hash", "id") and \
+                    view.imports.resolve(node.func.id) is None:
+                hazard = (
+                    f"builtin {node.func.id}() varies with PYTHONHASHSEED / "
+                    f"allocation order"
+                )
+            elif dotted in config.unstable_value_calls:
+                hazard = f"{dotted}() produces run-unique values"
+            if hazard is not None:
+                findings.append(_finding(
+                    view, "DET003", node,
+                    f"{hazard} — derive digest-affecting values from "
+                    f"hashlib or a seeded generator",
+                    function,
+                ))
+    return findings
+
+
+# -- DET004: unsorted set iteration -------------------------------------------------
+
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+
+
+def _is_unordered_set_expr(
+    node: ast.AST, view: ModuleView, config: AnalysisConfig
+) -> bool:
+    """Whether ``node`` evaluates to an unordered set, syntactically."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        _, terminal = resolve_call_target(node.func, view.imports)
+        return terminal in config.set_returning
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return (
+            _is_unordered_set_expr(node.left, view, config)
+            or _is_unordered_set_expr(node.right, view, config)
+        )
+    return False
+
+
+def check_det004(
+    view: ModuleView, project: ProjectIndex, config: AnalysisConfig,
+    cone: frozenset,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for function, nodes in _relevant_scopes(view, cone):
+        for node in nodes:
+            iterables: List[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                       ast.DictComp)
+            ):
+                iterables.extend(gen.iter for gen in node.generators)
+            for iterable in iterables:
+                if _is_unordered_set_expr(iterable, view, config):
+                    findings.append(_finding(
+                        view, "DET004", iterable,
+                        "iteration over an unordered set expression in "
+                        "digest-affecting code — wrap it in sorted(...)",
+                        function,
+                    ))
+    return findings
+
+
+# -- PKL001: process-boundary pickle safety -----------------------------------------
+
+
+def _annotation_names(node: ast.AST) -> List[str]:
+    names: List[str] = []
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            names.append(child.id)
+        elif isinstance(child, ast.Attribute):
+            names.append(child.attr)
+        elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+            # String annotations: a crude token scan is enough for type
+            # *names* (we only match known identifiers).
+            for token in child.value.replace("[", " ").replace("]", " ") \
+                    .replace(",", " ").replace(".", " ").split():
+                names.append(token)
+    return names
+
+
+def _assigned_field(target: ast.AST) -> Optional[str]:
+    """The ``self.x`` field a statement assigns, if any."""
+    if isinstance(target, ast.Attribute) and \
+            isinstance(target.value, ast.Name) and target.value.id == "self":
+        return target.attr
+    return None
+
+
+def _unpicklable_value(
+    value: Optional[ast.AST], view: ModuleView, config: AnalysisConfig,
+    param_types: Dict[str, List[str]],
+) -> Optional[str]:
+    """Why ``value`` is unpicklable, or ``None`` when it looks safe."""
+    if value is None:
+        return None
+    if isinstance(value, ast.Lambda):
+        return "a lambda (unpicklable callable)"
+    if isinstance(value, ast.Call):
+        dotted, terminal = resolve_call_target(value.func, view.imports)
+        if dotted in config.unpicklable_calls or \
+                terminal in config.unpicklable_calls:
+            return f"a {dotted or terminal}() handle"
+    if isinstance(value, ast.Name):
+        banned = [
+            name for name in param_types.get(value.id, ())
+            if name in config.unpicklable_types
+        ]
+        if banned:
+            return f"a parameter annotated {banned[0]}"
+    return None
+
+
+def check_pkl001(
+    view: ModuleView, project: ProjectIndex, config: AnalysisConfig,
+    cone: frozenset,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for cls in view.classes:
+        if cls.name not in config.boundary_classes:
+            continue
+        for stmt in cls.node.body:
+            if isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                banned = sorted(
+                    set(_annotation_names(stmt.annotation))
+                    & config.unpicklable_types
+                )
+                if banned:
+                    findings.append(_finding(
+                        view, "PKL001", stmt,
+                        f"boundary class {cls.name} field "
+                        f"{stmt.target.id!r} is annotated {banned[0]} — it "
+                        f"crosses the process boundary and must stay "
+                        f"picklable",
+                        None,
+                    ))
+        for method in cls.node.body:
+            if not isinstance(method, ast.FunctionDef) or \
+                    method.name not in ("__init__", "__post_init__"):
+                continue
+            param_types: Dict[str, List[str]] = {}
+            for arg in list(method.args.args) + list(method.args.kwonlyargs):
+                if arg.annotation is not None:
+                    param_types[arg.arg] = _annotation_names(arg.annotation)
+            for node in _scope_nodes(method):
+                targets: List[ast.AST] = []
+                value: Optional[ast.AST] = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign):
+                    targets, value = [node.target], node.value
+                else:
+                    continue
+                for target in targets:
+                    field_name = _assigned_field(target)
+                    if field_name is None:
+                        continue
+                    if isinstance(node, ast.AnnAssign):
+                        banned = sorted(
+                            set(_annotation_names(node.annotation))
+                            & config.unpicklable_types
+                        )
+                        if banned:
+                            findings.append(_finding(
+                                view, "PKL001", node,
+                                f"boundary class {cls.name} field "
+                                f"{field_name!r} is annotated {banned[0]} — "
+                                f"unpicklable across the exec boundary",
+                                None,
+                            ))
+                            continue
+                    why = _unpicklable_value(value, view, config, param_types)
+                    if why is not None:
+                        findings.append(_finding(
+                            view, "PKL001", node,
+                            f"boundary class {cls.name} field "
+                            f"{field_name!r} is assigned {why} — "
+                            f"unpicklable across the exec boundary",
+                            None,
+                        ))
+    return findings
+
+
+# -- OBS001: digest-exclusion manifest ----------------------------------------------
+
+
+def _emitted_keys(body: List[ast.stmt]) -> List[Tuple[str, ast.AST]]:
+    """Literal string keys a serializer writes (dict literals and
+    ``data["k"] = ...`` subscript stores)."""
+    keys: List[Tuple[str, ast.AST]] = []
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if isinstance(key, ast.Constant) and \
+                            isinstance(key.value, str):
+                        keys.append((key.value, key))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and \
+                            isinstance(target.slice, ast.Constant) and \
+                            isinstance(target.slice.value, str):
+                        keys.append((target.slice.value, target))
+    return keys
+
+
+def _neutralized_keys(body: List[ast.stmt]) -> List[Tuple[str, ast.AST]]:
+    """Keys a ``canonical_dict`` removes or overwrites with a constant."""
+    keys: List[Tuple[str, ast.AST]] = []
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "pop" and node.args and \
+                    isinstance(node.args[0], ast.Constant) and \
+                    isinstance(node.args[0].value, str):
+                keys.append((node.args[0].value, node))
+            elif isinstance(node, ast.Assign) and \
+                    isinstance(node.value, ast.Constant):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and \
+                            isinstance(target.slice, ast.Constant) and \
+                            isinstance(target.slice.value, str):
+                        keys.append((target.slice.value, target))
+    return keys
+
+
+def check_obs001(
+    view: ModuleView, project: ProjectIndex, config: AnalysisConfig,
+    cone: frozenset,
+) -> List[Finding]:
+    canonicals = [
+        function for function in view.functions
+        if function.name == "canonical_dict"
+    ]
+    if not canonicals:
+        return []
+    findings: List[Finding] = []
+    neutralized: Dict[str, ast.AST] = {}
+    for function in canonicals:
+        for key, node in _neutralized_keys(function.node.body):
+            neutralized.setdefault(key, node)
+            if key not in config.digest_excluded_keys:
+                findings.append(_finding(
+                    view, "OBS001", node,
+                    f"canonical_dict neutralizes key {key!r}, which is not "
+                    f"in the digest-exclusion manifest — declare it in "
+                    f"AnalysisConfig.digest_excluded_keys",
+                    function,
+                ))
+    for function in view.functions:
+        if function.name != "to_dict":
+            continue
+        for key, node in _emitted_keys(function.node.body):
+            if key in config.digest_excluded_keys and key not in neutralized:
+                findings.append(_finding(
+                    view, "OBS001", node,
+                    f"to_dict writes digest-excluded key {key!r} but no "
+                    f"canonical_dict in this module neutralizes it — the "
+                    f"key would leak into the digest",
+                    function,
+                ))
+    return findings
+
+
+# -- MRG001: associative merge on registered metric types ---------------------------
+
+
+def check_mrg001(
+    view: ModuleView, project: ProjectIndex, config: AnalysisConfig,
+    cone: frozenset,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for cls in view.classes:
+        inherits_instrument = bool(
+            set(cls.bases) & config.instrument_bases
+        )
+        if inherits_instrument and \
+                not project.class_has_method(cls.name, "merge"):
+            findings.append(_finding(
+                view, "MRG001", cls.node,
+                f"metric type {cls.name} subclasses an instrument base but "
+                f"neither defines nor inherits an associative merge()",
+                None,
+            ))
+    for node in ast.walk(view.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "register"
+            and len(node.args) >= 2
+        ):
+            continue
+        instrument = node.args[1]
+        if isinstance(instrument, ast.Call) and \
+                isinstance(instrument.func, ast.Name):
+            class_name = instrument.func.id
+            if class_name in project.classes and \
+                    not project.class_has_method(class_name, "merge"):
+                findings.append(_finding(
+                    view, "MRG001", node,
+                    f"{class_name} is registered as a metric but has no "
+                    f"associative merge() — sharded runs cannot fold it",
+                    None,
+                ))
+    return findings
+
+
+#: Rule id -> checker, in report order.  PRG001 is engine-seeded.
+CHECKERS: Dict[str, Callable[..., List[Finding]]] = {
+    "DET001": check_det001,
+    "DET002": check_det002,
+    "DET003": check_det003,
+    "DET004": check_det004,
+    "PKL001": check_pkl001,
+    "OBS001": check_obs001,
+    "MRG001": check_mrg001,
+}

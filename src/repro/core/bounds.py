@@ -21,7 +21,7 @@ concrete :class:`~repro.core.rendezvous.RendezvousMatrix` satisfies it.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+from typing import Hashable, Iterable, List, Mapping, Sequence, Tuple
 
 from .rendezvous import RendezvousMatrix
 from .strategy import FunctionalStrategy

@@ -109,7 +109,10 @@ class MatchMakingStrategy(abc.ABC):
         nodes = list(nodes)
         node_set = set(nodes)
         for node in nodes:
-            for member in self.post_set(node, port) | self.query_set(node, port):
+            # Sorted so the *first* out-of-universe member reported (and
+            # thus the error text) is the same on every run and hash seed.
+            members = self.post_set(node, port) | self.query_set(node, port)
+            for member in sorted(members, key=repr):
                 if member not in node_set:
                     raise StrategyError(
                         f"{self.name}: P/Q of {node!r} addresses {member!r}, "

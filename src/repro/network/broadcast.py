@@ -20,7 +20,7 @@ both the reached set and the exact hop count for three delivery modes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Set
 
 from ..core.exceptions import UnknownNodeError
 from .faults import FaultPlan, surviving_graph

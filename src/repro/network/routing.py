@@ -16,7 +16,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from types import MappingProxyType
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence
+from typing import Dict, Hashable, List, Mapping, Sequence
 
 from ..core.exceptions import NoRouteError, UnknownNodeError
 from .graph import Graph

@@ -13,7 +13,7 @@ they never have permanent addresses — only their current node's address.
 from __future__ import annotations
 
 import itertools
-from typing import Hashable, Optional
+from typing import Hashable
 
 from ..core.exceptions import ProcessLifecycleError
 from ..core.types import Address

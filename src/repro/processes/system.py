@@ -21,7 +21,7 @@ The request path is:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..core.exceptions import (
@@ -36,7 +36,7 @@ from ..core.types import Address, Port
 from ..network.simulator import Network
 from .client import ClientProcess
 from .server import RequestHandler, ServerProcess
-from .service import Service, ServiceDirectory
+from .service import ServiceDirectory
 
 
 @dataclass(frozen=True)

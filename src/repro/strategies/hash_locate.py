@@ -16,7 +16,7 @@ provides a backup rendezvous node).
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, FrozenSet, Hashable, Iterable, List, Optional, Sequence
+from typing import FrozenSet, Hashable, Iterable, List, Optional, Sequence
 
 from ..core.exceptions import StrategyError
 from ..core.types import Port
@@ -130,7 +130,7 @@ class HashLocateStrategy(UniverseStrategy):
         """
         counts = {node: 0 for node in self._ordered}
         for port in ports:
-            for node in self.rendezvous_nodes(port):
+            for node in sorted(self.rendezvous_nodes(port), key=repr):
                 counts[node] += 1
         return counts
 

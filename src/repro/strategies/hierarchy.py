@@ -16,7 +16,7 @@ towards the root.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Sequence
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional
 
 from ..core.exceptions import StrategyError
 from ..core.strategy import MatchMakingStrategy

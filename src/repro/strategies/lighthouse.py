@@ -23,8 +23,8 @@ leading away from the beam's origin — see
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Tuple
 
 from ..core.types import Address, Port, PostRecord
 from ..network.cache import ExpiringCache

@@ -201,7 +201,9 @@ class ScopedHashStrategy(MatchMakingStrategy):
                 if prefix in seen_prefixes:
                     continue
                 seen_prefixes.add(prefix)
-                for chosen in self.rendezvous_nodes(node, port):
+                for chosen in sorted(
+                    self.rendezvous_nodes(node, port), key=repr
+                ):
                     counts[chosen] += 1
         return counts
 

@@ -13,7 +13,6 @@ from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
 
 from ..core.exceptions import StrategyError
 from ..core.strategy import MatchMakingStrategy
-from ..topologies.base import Topology
 from .elementary import (
     BroadcastStrategy,
     CentralizedStrategy,

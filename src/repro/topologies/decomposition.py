@@ -24,7 +24,7 @@ existing nodes.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence
 
 from ..core.exceptions import DisconnectedGraphError
 from ..network.graph import Graph

@@ -25,7 +25,7 @@ extra gateway processors, matching the paper's picture of gateway *hosts*.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..core.exceptions import TopologyError
 from ..network.graph import Graph

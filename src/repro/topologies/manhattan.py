@@ -13,7 +13,7 @@ Nodes are identified by coordinate tuples; the 2-D case uses ``(row, col)``.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..core.exceptions import TopologyError
 from ..network.graph import Graph

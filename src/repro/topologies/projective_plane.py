@@ -19,7 +19,7 @@ cheap; the match-making strategy itself only relies on the line structure.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, List, Tuple
 
 from ..core.exceptions import TopologyError
 from ..network.graph import Graph

@@ -20,7 +20,7 @@ towards the root.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..core.exceptions import TopologyError
 from ..network.graph import Graph

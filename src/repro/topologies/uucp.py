@@ -23,7 +23,7 @@ for comparison.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..core.exceptions import TopologyError
 from ..network.graph import Graph

@@ -1,0 +1,86 @@
+"""The analyzer run against its own repository — the gate CI enforces.
+
+Two halves:
+
+* the live ``src/repro`` tree must analyze to **zero unsuppressed
+  findings** (the same invariant ``python -m repro analyze --strict``
+  gates in CI), with every suppression carrying a reason;
+* reverting the ``sorted(...)`` determinism fix in
+  ``repro/core/strategy.py`` on a scratch copy must re-introduce a DET004
+  finding — proving the gate actually guards that fix.
+"""
+
+import shutil
+from pathlib import Path
+
+import repro
+from repro.analysis.static import analyze_paths
+
+PACKAGE_DIR = Path(repro.__file__).resolve().parent
+
+SORTED_FIX = (
+    "            members = self.post_set(node, port) "
+    "| self.query_set(node, port)\n"
+    "            for member in sorted(members, key=repr):\n"
+)
+UNSORTED_ORIGINAL = (
+    "            for member in self.post_set(node, port) "
+    "| self.query_set(node, port):\n"
+)
+
+
+class TestSelfAnalysis:
+    def test_repo_has_zero_unsuppressed_findings(self):
+        session = analyze_paths([PACKAGE_DIR])
+        rendered = "\n".join(f.render() for f in session.findings)
+        assert session.findings == [], (
+            f"the committed tree must analyze clean:\n{rendered}"
+        )
+        assert session.files > 50, "self-run should cover the whole package"
+
+    def test_every_suppression_carries_a_reason(self):
+        session = analyze_paths([PACKAGE_DIR])
+        assert session.suppressed, (
+            "the driver's wall_seconds pragmas should register as "
+            "suppressions"
+        )
+        for finding, reason in session.suppressed:
+            assert reason.strip(), f"reasonless suppression: {finding.render()}"
+
+    def test_driver_wall_clock_is_suppressed_not_missed(self):
+        session = analyze_paths([PACKAGE_DIR])
+        suppressed_rules = {
+            (finding.module, finding.rule)
+            for finding, _ in session.suppressed
+        }
+        assert ("repro.workload.driver", "DET001") in suppressed_rules
+
+
+class TestSortedFixIsGuarded:
+    def _copy_with_reverted_fix(self, tmp_path) -> Path:
+        scratch = tmp_path / "repro"
+        shutil.copytree(
+            PACKAGE_DIR, scratch,
+            ignore=shutil.ignore_patterns("__pycache__"),
+        )
+        strategy = scratch / "core" / "strategy.py"
+        source = strategy.read_text()
+        assert SORTED_FIX in source, (
+            "expected the sorted(...) determinism fix in core/strategy.py; "
+            "update this test if the surrounding code moved"
+        )
+        strategy.write_text(source.replace(SORTED_FIX, UNSORTED_ORIGINAL))
+        return scratch
+
+    def test_reverting_sorted_fix_trips_det004(self, tmp_path):
+        scratch = self._copy_with_reverted_fix(tmp_path)
+        session = analyze_paths([scratch])
+        det004 = [f for f in session.new if f.rule == "DET004"]
+        assert det004, (
+            "removing sorted(...) from the P/Q union iteration must "
+            "re-introduce a DET004 finding"
+        )
+        assert any(
+            f.path.endswith("core/strategy.py") and "validate" in f.symbol
+            for f in det004
+        )

@@ -1,0 +1,224 @@
+"""Analyzer plumbing: pragma parsing, baselines, CLI exit codes, JSON.
+
+The engine is exercised both through its Python API (``analyze_paths``,
+``load_baseline``/``write_baseline``) and through ``python -m repro
+analyze`` via :func:`repro.cli.main`, pinning the exit-code contract the
+CI gate relies on: 0 clean, 1 new findings (``--strict`` adds stale
+baseline entries), 2 unusable input.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.static import (
+    AnalysisError,
+    analyze_paths,
+    load_baseline,
+    render_findings,
+    session_dict,
+    write_baseline,
+)
+from repro.analysis.static.pragmas import PragmaIndex, scan_pragmas
+from repro.analysis.static.rules import RULES
+from repro.cli import main
+
+DIRTY_SRC = "import time as _time\n\ndef run():\n    return _time.time()\n"
+CLEAN_SRC = "def run():\n    return 42\n"
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    (tmp_path / "mod.py").write_text(DIRTY_SRC)
+    return tmp_path
+
+
+# -- pragma parsing ----------------------------------------------------------------
+
+
+class TestPragmaParsing:
+    def test_separator_variants_all_parse(self):
+        lines = [
+            "x = f()  # repro: allow[DET001] — em-dash reason",
+            "y = f()  # repro: allow[DET002] - hyphen reason",
+            "z = f()  # repro: allow[DET003]: colon reason",
+        ]
+        pragmas, problems = scan_pragmas(lines)
+        assert problems == []
+        assert [sorted(p.rules) for p in pragmas] == \
+            [["DET001"], ["DET002"], ["DET003"]]
+        assert [p.reason for p in pragmas] == \
+            ["em-dash reason", "hyphen reason", "colon reason"]
+
+    def test_multiple_rules_in_one_pragma(self):
+        pragmas, problems = scan_pragmas(
+            ["x = f()  # repro: allow[DET001, PKL001] — both safe here"]
+        )
+        assert problems == []
+        assert pragmas[0].rules == frozenset({"DET001", "PKL001"})
+
+    def test_standalone_pragma_covers_next_line(self):
+        pragmas, _ = scan_pragmas(
+            ["# repro: allow[DET004] — fold is commutative",
+             "for x in s:"]
+        )
+        index = PragmaIndex(pragmas)
+        assert index.allows(2, "DET004")
+        assert not index.allows(1, "DET004")
+
+    def test_inline_pragma_covers_its_own_line(self):
+        pragmas, _ = scan_pragmas(
+            ["bad()  # repro: allow[DET001] — measured, not digested"]
+        )
+        index = PragmaIndex(pragmas)
+        assert index.allows(1, "DET001")
+        assert index.reason(1) == "measured, not digested"
+
+    def test_missing_reason_is_a_problem(self):
+        pragmas, problems = scan_pragmas(["x  # repro: allow[DET001]"])
+        assert pragmas == []
+        assert len(problems) == 1
+        assert "reason" in problems[0].message
+
+    def test_empty_and_bogus_rule_lists_are_problems(self):
+        _, problems = scan_pragmas(
+            ["a  # repro: allow[] — none named",
+             "b  # repro: allow[det1] — lowercase"]
+        )
+        assert len(problems) == 2
+
+    def test_docstring_text_is_not_a_pragma(self):
+        pragmas, problems = scan_pragmas(
+            ['"""Write ``# repro: allow[DET001]`` to waive a rule."""']
+        )
+        assert pragmas == [] and problems == []
+
+
+# -- baselines ---------------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_round_trip_moves_findings_out_of_new(self, dirty_tree, tmp_path):
+        first = analyze_paths([dirty_tree])
+        assert len(first.new) == 1
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, first)
+        second = analyze_paths(
+            [dirty_tree], baseline=load_baseline(baseline_path)
+        )
+        assert second.new == []
+        assert len(second.baselined) == 1
+        assert second.stale_baseline == []
+
+    def test_fingerprints_survive_line_shifts(self, dirty_tree, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, analyze_paths([dirty_tree]))
+        # Prepend lines: the finding moves but its fingerprint must not.
+        mod = dirty_tree / "mod.py"
+        mod.write_text('"""A docstring."""\n\nPAD = 1\n' + mod.read_text())
+        session = analyze_paths(
+            [dirty_tree], baseline=load_baseline(baseline_path)
+        )
+        assert session.new == []
+        assert len(session.baselined) == 1
+
+    def test_fixed_finding_goes_stale(self, dirty_tree, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, analyze_paths([dirty_tree]))
+        (dirty_tree / "mod.py").write_text(CLEAN_SRC)
+        session = analyze_paths(
+            [dirty_tree], baseline=load_baseline(baseline_path)
+        )
+        assert session.findings == []
+        assert len(session.stale_baseline) == 1
+        assert session.stale_baseline[0]["rule"] == "DET001"
+
+    def test_unreadable_baseline_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(AnalysisError):
+            load_baseline(bad)
+        with pytest.raises(AnalysisError):
+            load_baseline(tmp_path / "missing.json")
+
+
+# -- engine odds and ends ----------------------------------------------------------
+
+
+class TestEngine:
+    def test_syntax_error_is_an_analysis_error(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def nope(:\n")
+        with pytest.raises(AnalysisError, match="syntax error"):
+            analyze_paths([tmp_path])
+
+    def test_missing_path_is_an_analysis_error(self, tmp_path):
+        with pytest.raises(AnalysisError, match="not a python file"):
+            analyze_paths([tmp_path / "nowhere"])
+
+    def test_pycache_is_skipped(self, tmp_path):
+        (tmp_path / "mod.py").write_text(CLEAN_SRC)
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text("def nope(:\n")
+        session = analyze_paths([tmp_path])
+        assert session.files == 1
+
+    def test_render_and_session_dict_agree(self, dirty_tree):
+        session = analyze_paths([dirty_tree])
+        text = render_findings(session)
+        data = session_dict(session)
+        assert "DET001" in text
+        assert data["summary"]["findings"] == 1
+        assert data["findings"][0]["rule"] == "DET001"
+        assert set(data["rules"]) == set(RULES)
+
+
+# -- CLI ---------------------------------------------------------------------------
+
+
+class TestAnalyzeCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(CLEAN_SRC)
+        assert main(["analyze", str(tmp_path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_new_findings_exit_one(self, dirty_tree, capsys):
+        assert main(["analyze", str(dirty_tree)]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_baseline_flag_gates_and_strict_fails_stale(
+        self, dirty_tree, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "analyze", str(dirty_tree), "--write-baseline", str(baseline),
+        ]) == 1
+        assert main([
+            "analyze", str(dirty_tree), "--baseline", str(baseline),
+        ]) == 0
+        (dirty_tree / "mod.py").write_text(CLEAN_SRC)
+        # Lenient run tolerates the stale entry; --strict fails it.
+        assert main([
+            "analyze", str(dirty_tree), "--baseline", str(baseline),
+        ]) == 0
+        assert main([
+            "analyze", str(dirty_tree), "--baseline", str(baseline),
+            "--strict",
+        ]) == 1
+        assert "stale baseline" in capsys.readouterr().out
+
+    def test_json_output_is_machine_readable(self, dirty_tree, capsys):
+        assert main(["analyze", str(dirty_tree), "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["summary"]["new"] == 1
+        assert data["findings"][0]["rule"] == "DET001"
+
+    def test_list_rules_covers_the_catalog(self, capsys):
+        assert main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out
+
+    def test_bad_input_exits_two(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nowhere")]) == 2
+        assert "error:" in capsys.readouterr().err

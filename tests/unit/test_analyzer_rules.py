@@ -1,0 +1,436 @@
+"""Every analyzer rule fires on a minimal fixture and yields to a pragma.
+
+Each rule gets a pair of tests: a snippet that must produce exactly that
+finding, and the same snippet with a ``# repro: allow[...]`` pragma that
+must suppress it (recording the reason).  A reachability test pins the
+cone gating: DET rules stay silent on code no entry point or digest sink
+can reach.
+"""
+
+import pytest
+
+from repro.analysis.static import analyze_paths
+from repro.analysis.static.config import AnalysisConfig
+
+
+def run_analyzer(tmp_path, source, name="fixture.py", config=None):
+    path = tmp_path / name
+    path.write_text(source)
+    return analyze_paths([path], config=config or AnalysisConfig())
+
+
+def rule_ids(session):
+    return [finding.rule for finding in session.findings]
+
+
+# -- DET001: wall-clock reads ------------------------------------------------------
+
+DET001_SRC = """\
+import time as _time
+
+def run():
+    return _time.perf_counter()
+"""
+
+
+class TestDet001:
+    def test_fires_on_wall_clock_in_cone(self, tmp_path):
+        session = run_analyzer(tmp_path, DET001_SRC)
+        assert rule_ids(session) == ["DET001"]
+        assert "time.perf_counter" in session.findings[0].message
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = DET001_SRC.replace(
+            "return _time.perf_counter()",
+            "return _time.perf_counter()  "
+            "# repro: allow[DET001] — profile-only timing",
+        )
+        session = run_analyzer(tmp_path, src)
+        assert session.findings == []
+        assert len(session.suppressed) == 1
+        finding, reason = session.suppressed[0]
+        assert finding.rule == "DET001"
+        assert reason == "profile-only timing"
+
+    def test_silent_outside_the_cone(self, tmp_path):
+        # Same call, but in a function nothing digest-related reaches.
+        src = DET001_SRC.replace("def run():", "def unrelated_helper():")
+        session = run_analyzer(tmp_path, src)
+        assert session.findings == []
+
+    def test_silent_in_declared_zone(self, tmp_path):
+        pkg = tmp_path / "repro" / "obs" / "profile"
+        pkg.mkdir(parents=True)
+        for parent in (tmp_path / "repro", tmp_path / "repro" / "obs", pkg):
+            (parent / "__init__.py").write_text("")
+        (pkg / "timers.py").write_text(DET001_SRC)
+        session = analyze_paths([tmp_path / "repro"])
+        assert session.findings == []
+
+    def test_import_time_code_is_always_scrutinized(self, tmp_path):
+        session = run_analyzer(
+            tmp_path, "import time\nSTAMP = time.time()\n"
+        )
+        assert rule_ids(session) == ["DET001"]
+
+
+# -- DET002: module-level random ---------------------------------------------------
+
+DET002_SRC = """\
+import random
+
+def run(items):
+    return random.choice(items)
+"""
+
+
+class TestDet002:
+    def test_fires_on_global_generator(self, tmp_path):
+        session = run_analyzer(tmp_path, DET002_SRC)
+        assert rule_ids(session) == ["DET002"]
+
+    def test_from_import_resolves_too(self, tmp_path):
+        session = run_analyzer(
+            tmp_path,
+            "from random import shuffle\n\ndef run(x):\n    shuffle(x)\n",
+        )
+        assert rule_ids(session) == ["DET002"]
+
+    def test_seeded_generator_is_sanctioned(self, tmp_path):
+        session = run_analyzer(
+            tmp_path,
+            "import random\n\ndef run(items):\n"
+            "    rng = random.Random(7)\n    return rng.choice(items)\n",
+        )
+        assert session.findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = DET002_SRC.replace(
+            "return random.choice(items)",
+            "return random.choice(items)  "
+            "# repro: allow[DET002] — demo path, never digested",
+        )
+        session = run_analyzer(tmp_path, src)
+        assert session.findings == []
+        assert session.suppressed[0][0].rule == "DET002"
+
+
+# -- DET003: hash()/uuid/urandom ---------------------------------------------------
+
+
+class TestDet003:
+    def test_fires_on_builtin_hash_in_sink(self, tmp_path):
+        session = run_analyzer(
+            tmp_path, "def digest(value):\n    return hash(value)\n"
+        )
+        assert rule_ids(session) == ["DET003"]
+        assert "PYTHONHASHSEED" in session.findings[0].message
+
+    def test_fires_on_uuid4(self, tmp_path):
+        session = run_analyzer(
+            tmp_path, "import uuid\n\ndef run():\n    return uuid.uuid4()\n"
+        )
+        assert rule_ids(session) == ["DET003"]
+
+    def test_shadowed_hash_is_fine(self, tmp_path):
+        session = run_analyzer(
+            tmp_path,
+            "from hashlib import sha256 as hash\n\n"
+            "def digest(value):\n    return hash(value)\n",
+        )
+        assert session.findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        session = run_analyzer(
+            tmp_path,
+            "def digest(value):\n"
+            "    return hash(value)  "
+            "# repro: allow[DET003] — keyed dict lookup, not persisted\n",
+        )
+        assert session.findings == []
+        assert session.suppressed[0][0].rule == "DET003"
+
+
+# -- DET004: unsorted set iteration ------------------------------------------------
+
+
+class TestDet004:
+    def test_fires_on_set_literal_union(self, tmp_path):
+        session = run_analyzer(
+            tmp_path,
+            "def digest(extra):\n"
+            "    out = []\n"
+            "    for item in {1, 2} | set(extra):\n"
+            "        out.append(item)\n"
+            "    return out\n",
+        )
+        assert rule_ids(session) == ["DET004"]
+
+    def test_fires_on_pq_algebra_union(self, tmp_path):
+        session = run_analyzer(
+            tmp_path,
+            "def post_set(n):\n    return frozenset([n])\n\n"
+            "def query_set(n):\n    return frozenset([n])\n\n"
+            "def validate(n):\n"
+            "    for member in post_set(n) | query_set(n):\n"
+            "        yield member\n",
+        )
+        assert rule_ids(session) == ["DET004"]
+
+    def test_fires_in_comprehension(self, tmp_path):
+        session = run_analyzer(
+            tmp_path,
+            "def digest(xs):\n"
+            "    return [x for x in set(xs)]\n",
+        )
+        assert rule_ids(session) == ["DET004"]
+
+    def test_sorted_wrapping_is_clean(self, tmp_path):
+        session = run_analyzer(
+            tmp_path,
+            "def digest(extra):\n"
+            "    out = []\n"
+            "    for item in sorted({1, 2} | set(extra), key=repr):\n"
+            "        out.append(item)\n"
+            "    return out\n",
+        )
+        assert session.findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        session = run_analyzer(
+            tmp_path,
+            "def digest(xs):\n"
+            "    for x in set(xs):  "
+            "# repro: allow[DET004] — commutative fold, order-free\n"
+            "        yield x\n",
+        )
+        assert session.findings == []
+        assert session.suppressed[0][0].rule == "DET004"
+
+
+# -- PKL001: process-boundary pickle safety ----------------------------------------
+
+PKL001_SRC = """\
+import threading
+
+class Shard:
+    def __init__(self, network: "Network"):
+        self.network = network
+        self.lock = threading.Lock()
+"""
+
+
+class TestPkl001:
+    def test_fires_on_network_param_and_lock(self, tmp_path):
+        session = run_analyzer(tmp_path, PKL001_SRC)
+        assert rule_ids(session) == ["PKL001", "PKL001"]
+        messages = " / ".join(f.message for f in session.findings)
+        assert "Network" in messages
+        assert "threading.Lock" in messages
+
+    def test_fires_on_class_level_annotation(self, tmp_path):
+        session = run_analyzer(
+            tmp_path,
+            "from typing import Callable\n\n"
+            "class TraceOp:\n"
+            "    callback: Callable\n",
+        )
+        assert rule_ids(session) == ["PKL001"]
+
+    def test_non_boundary_class_is_ignored(self, tmp_path):
+        session = run_analyzer(
+            tmp_path, PKL001_SRC.replace("class Shard", "class Driver")
+        )
+        assert session.findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = PKL001_SRC.replace(
+            "self.network = network",
+            "self.network = network  "
+            "# repro: allow[PKL001] — stripped before pickling",
+        ).replace(
+            "self.lock = threading.Lock()",
+            "self.lock = threading.Lock()  "
+            "# repro: allow[PKL001] — worker-local only",
+        )
+        session = run_analyzer(tmp_path, src)
+        assert session.findings == []
+        assert [f.rule for f, _ in session.suppressed] == ["PKL001", "PKL001"]
+
+
+# -- OBS001: digest-exclusion manifest ---------------------------------------------
+
+OBS001_LEAK_SRC = """\
+class Report:
+    def to_dict(self):
+        return {"name": "x", "wall_seconds": 1.25}
+
+    def canonical_dict(self):
+        return self.to_dict()
+"""
+
+
+class TestObs001:
+    def test_fires_when_excluded_key_is_not_neutralized(self, tmp_path):
+        session = run_analyzer(tmp_path, OBS001_LEAK_SRC)
+        assert rule_ids(session) == ["OBS001"]
+        assert "wall_seconds" in session.findings[0].message
+
+    def test_neutralized_key_is_clean(self, tmp_path):
+        session = run_analyzer(
+            tmp_path,
+            OBS001_LEAK_SRC.replace(
+                "        return self.to_dict()",
+                "        data = self.to_dict()\n"
+                '        data["wall_seconds"] = 0.0\n'
+                "        return data",
+            ),
+        )
+        assert session.findings == []
+
+    def test_fires_on_undeclared_neutralization(self, tmp_path):
+        session = run_analyzer(
+            tmp_path,
+            "class Report:\n"
+            "    def canonical_dict(self):\n"
+            "        data = dict(self.raw)\n"
+            '        data.pop("notes", None)\n'
+            "        return data\n",
+        )
+        assert rule_ids(session) == ["OBS001"]
+        assert "notes" in session.findings[0].message
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = OBS001_LEAK_SRC.replace(
+            '        return {"name": "x", "wall_seconds": 1.25}',
+            '        return {"name": "x", "wall_seconds": 1.25}  '
+            "# repro: allow[OBS001] — neutralized by the caller",
+        )
+        session = run_analyzer(tmp_path, src)
+        assert session.findings == []
+        assert session.suppressed[0][0].rule == "OBS001"
+
+
+# -- MRG001: mergeable metric types ------------------------------------------------
+
+MRG001_SRC = """\
+class HopCounter:
+    def observe(self, value):
+        pass
+
+def setup(registry):
+    registry.register("hops", HopCounter())
+"""
+
+
+class TestMrg001:
+    def test_fires_on_registered_type_without_merge(self, tmp_path):
+        session = run_analyzer(tmp_path, MRG001_SRC)
+        assert rule_ids(session) == ["MRG001"]
+        assert "HopCounter" in session.findings[0].message
+
+    def test_merge_method_satisfies_the_rule(self, tmp_path):
+        session = run_analyzer(
+            tmp_path,
+            MRG001_SRC.replace(
+                "    def observe(self, value):",
+                "    def merge(self, other):\n"
+                "        pass\n\n"
+                "    def observe(self, value):",
+            ),
+        )
+        assert session.findings == []
+
+    def test_fires_on_instrument_subclass_without_merge(self, tmp_path):
+        session = run_analyzer(
+            tmp_path,
+            "class SpecialHistogram(Histogram):\n"
+            "    pass\n",
+        )
+        assert rule_ids(session) == ["MRG001"]
+
+    def test_inherited_merge_satisfies_the_rule(self, tmp_path):
+        session = run_analyzer(
+            tmp_path,
+            "class Histogram:\n"
+            "    def merge(self, other):\n"
+            "        pass\n\n"
+            "class SpecialHistogram(Histogram):\n"
+            "    pass\n",
+        )
+        assert session.findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = MRG001_SRC.replace(
+            '    registry.register("hops", HopCounter())',
+            '    registry.register("hops", HopCounter())  '
+            "# repro: allow[MRG001] — single-shard diagnostic metric",
+        )
+        session = run_analyzer(tmp_path, src)
+        assert session.findings == []
+        assert session.suppressed[0][0].rule == "MRG001"
+
+
+# -- PRG001: malformed pragmas -----------------------------------------------------
+
+
+class TestPrg001:
+    def test_fires_on_missing_reason(self, tmp_path):
+        session = run_analyzer(
+            tmp_path, "X = 1  # repro: allow[DET001]\n"
+        )
+        assert rule_ids(session) == ["PRG001"]
+        assert "reason" in session.findings[0].message
+
+    def test_fires_on_malformed_rule_id(self, tmp_path):
+        session = run_analyzer(
+            tmp_path, "X = 1  # repro: allow[bogus] — because\n"
+        )
+        assert rule_ids(session) == ["PRG001"]
+
+    def test_cannot_be_suppressed(self, tmp_path):
+        # A standalone allow[PRG001] covering the next line must not waive
+        # the malformed pragma sitting there.
+        session = run_analyzer(
+            tmp_path,
+            "# repro: allow[PRG001] — trying to silence the pragma police\n"
+            "X = 1  # repro: allow[DET001]\n",
+        )
+        assert "PRG001" in rule_ids(session)
+
+    def test_pragma_documentation_in_strings_is_inert(self, tmp_path):
+        session = run_analyzer(
+            tmp_path,
+            '"""Docs say write ``# repro: allow[DET001]`` here."""\n'
+            'HINT = "# repro: allow[bogus]"\n',
+        )
+        assert session.findings == []
+
+
+# -- cross-cutting -----------------------------------------------------------------
+
+
+class TestRuleConfig:
+    def test_disabled_rules_are_skipped(self, tmp_path):
+        config = AnalysisConfig(disabled_rules=frozenset({"DET002"}))
+        session = run_analyzer(tmp_path, DET002_SRC, config=config)
+        assert session.findings == []
+
+    def test_findings_report_module_symbol_and_fingerprint(self, tmp_path):
+        session = run_analyzer(tmp_path, DET001_SRC, name="clockmod.py")
+        finding = session.findings[0]
+        assert finding.module == "clockmod"
+        assert finding.symbol == "clockmod.run"
+        assert len(finding.fingerprint()) == 16
+
+    def test_duplicate_findings_fingerprint_apart(self, tmp_path):
+        session = run_analyzer(
+            tmp_path,
+            "import time as _time\n\n"
+            "def run():\n"
+            "    a = _time.perf_counter(); b = _time.perf_counter()\n"
+            "    return b - a\n",
+        )
+        assert rule_ids(session) == ["DET001", "DET001"]
+        prints = {f.fingerprint() for f in session.findings}
+        assert len(prints) == 2
