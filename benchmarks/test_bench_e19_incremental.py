@@ -1,0 +1,178 @@
+"""E19 — incremental sweeps: the cell cache and the warm worker pool.
+
+E18 made one sweep cheap; real matrix studies run the *same* sweep many
+times — after editing one regime, on every CI push, per parameter probe.
+This benchmark measures the two layers that make the re-run nearly free
+and pins the properties they stand on:
+
+* **cold fill**: a cache-backed run stores every cell, hits none, and its
+  report digest equals the plain uncached run's — populating the cache is
+  not allowed to change anything;
+* **warm re-run**: the same grid against the filled cache executes *zero*
+  cells (100% hits, sequentially and across worker processes) and still
+  reproduces the digest byte for byte;
+* **speed**: the warm sequential re-run beats the cold run by at least
+  5x (it is pure JSON deserialization — in practice far more), asserted
+  outside smoke mode;
+* **warm pool**: repeated parallel runs through one :class:`WarmPool`
+  stay digest-identical while reusing worker processes and their
+  per-topology networks.
+
+Full runs persist cold/warm seconds, the warm speedup and the hit rate
+into ``BENCH_workload.json`` under ``incremental``, which the trajectory
+gate tracks.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.exec import WarmPool, run_matrix_parallel
+from repro.obs import host_metadata
+from repro.workload import (
+    ArrivalSpec,
+    FaultRegimeSpec,
+    MatrixSpec,
+    PopularitySpec,
+    ScenarioSpec,
+    run_matrix,
+)
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_workload.json"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+#: Requests per matrix cell (27 cells; the grid runs cold once, warm
+#: twice, and twice more through the warm pool).
+OPERATIONS = 120 if SMOKE else 500
+#: Worker count for the parallel warm re-run and the warm pool.
+WORKERS = 4
+#: A warm re-run deserializes JSON instead of simulating; even a modest
+#: grid clears 5x.  Smoke grids are too small to assert timing on.
+ASSERT_SPEEDUP = not SMOKE
+WARM_SPEEDUP_FLOOR = 5.0
+
+
+def bench_matrix() -> MatrixSpec:
+    """The E18-shaped grid, reseeded so E19 caches never collide with it."""
+    return MatrixSpec(
+        name="e19",
+        topologies=("complete:36", "manhattan:6", "hypercube:5"),
+        strategies=("checkerboard", "hash-locate", "centralized"),
+        fault_regimes=(
+            FaultRegimeSpec(),
+            FaultRegimeSpec(kind="waves", events=3, size=2, start=0.08,
+                            period=0.15, downtime=0.1),
+            FaultRegimeSpec(kind="flaps", events=4, start=0.05, period=0.12,
+                            downtime=0.08),
+        ),
+        base=ScenarioSpec(
+            operations=OPERATIONS,
+            clients=12,
+            servers=8,
+            ports=4,
+            delivery_mode="unicast",
+            seed=1919,
+            arrival=ArrivalSpec(kind="poisson", rate=1500.0),
+            popularity=PopularitySpec(kind="zipf", zipf_exponent=1.1),
+        ),
+    )
+
+
+def run_incremental_experiment():
+    cache_dir = tempfile.mkdtemp(prefix="repro-e19-cache-")
+    try:
+        started = time.perf_counter()
+        cold, _ = run_matrix(bench_matrix(), cache_dir=cache_dir)
+        cold_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm, _ = run_matrix(bench_matrix(), cache_dir=cache_dir)
+        warm_seconds = time.perf_counter() - started
+
+        warm_parallel, _ = run_matrix(
+            bench_matrix(), workers=WORKERS, cache_dir=cache_dir
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    with WarmPool(workers=WORKERS) as pool:
+        first, _ = run_matrix_parallel(bench_matrix(), pool=pool)
+        started = time.perf_counter()
+        second, _ = run_matrix_parallel(bench_matrix(), pool=pool)
+        pooled_seconds = time.perf_counter() - started
+
+    return (
+        cold, warm, warm_parallel, first, second,
+        cold_seconds, warm_seconds, pooled_seconds,
+    )
+
+
+def test_bench_e19_incremental(benchmark, record):
+    (
+        cold, warm, warm_parallel, first, second,
+        cold_seconds, warm_seconds, pooled_seconds,
+    ) = benchmark.pedantic(run_incremental_experiment, rounds=1, iterations=1)
+
+    # -- the cache changes nothing but the work done -------------------------
+    assert len(cold) == 27 and cold.skipped == []
+    cold_stats = cold.cache_stats
+    assert cold_stats["stored"] == len(cold) and cold_stats["hits"] == 0
+    assert warm.digest() == cold.digest(), (
+        "warm re-run diverged from the cold run"
+    )
+    assert warm.canonical_dict() == cold.canonical_dict()
+
+    # -- the warm re-run executed zero cells ---------------------------------
+    warm_stats = warm.cache_stats
+    assert warm_stats["hits"] == len(warm) and warm_stats["misses"] == 0
+    par_stats = warm_parallel.cache_stats
+    assert warm_parallel.digest() == cold.digest(), (
+        "parallel warm re-run diverged"
+    )
+    assert par_stats["hits"] == len(warm_parallel)
+    hit_rate = warm_stats["hits"] / len(warm)
+
+    # -- the warm pool is digest-neutral across runs -------------------------
+    assert first.digest() == cold.digest() and second.digest() == cold.digest()
+    pool_stats = second.cache_stats
+    assert pool_stats.get("pool_network_reuses", 0) + \
+        pool_stats.get("pool_network_builds", 0) == 3
+
+    # -- speed ---------------------------------------------------------------
+    warm_speedup = cold_seconds / warm_seconds if warm_seconds else 0.0
+    if ASSERT_SPEEDUP:
+        assert warm_speedup >= WARM_SPEEDUP_FLOOR, (
+            f"expected a >= {WARM_SPEEDUP_FLOOR}x warm re-run, measured "
+            f"{warm_speedup:.2f}x (cold {cold_seconds:.2f}s, warm "
+            f"{warm_seconds:.2f}s)"
+        )
+
+    # -- persist the trajectory (full-size runs only) ------------------------
+    if not SMOKE:
+        payload = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
+        payload["incremental"] = {
+            "experiment": "e19-incremental",
+            "host": host_metadata(workers=WORKERS),
+            "cells": len(cold),
+            "workers": WORKERS,
+            "cold_seconds": round(cold_seconds, 3),
+            "warm_seconds": round(warm_seconds, 3),
+            "warm_speedup": round(warm_speedup, 3),
+            "warm_hit_rate": round(hit_rate, 4),
+            "pooled_run_seconds": round(pooled_seconds, 3),
+            "report_digest": cold.digest(),
+        }
+        BENCH_JSON.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+
+    record(
+        cells=len(cold),
+        cold_seconds=round(cold_seconds, 3),
+        warm_seconds=round(warm_seconds, 3),
+        warm_speedup=round(warm_speedup, 3),
+        warm_hit_rate=round(hit_rate, 4),
+    )

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """The bench-trajectory regression gate.
 
-``BENCH_workload.json`` accumulates the headline numbers of the E15-E18
+``BENCH_workload.json`` accumulates the headline numbers of the E15-E19
 benchmarks PR after PR; this script turns that record into a CI gate.  It
 compares every tracked metric against ``trajectory_baseline.json`` (the
 committed snapshot of the last accepted trajectory) under a per-metric
@@ -66,6 +66,9 @@ TRACKED: Tuple[Tuple[str, str, float], ...] = (
     ("matrix.plan_misses_shared", "lower", 0.10),
     # E18 — the parallel execution engine.
     ("parallel.speedup", "higher", WALL_CLOCK_TOLERANCE),
+    # E19 — incremental sweeps through the cell cache.
+    ("incremental.warm_speedup", "higher", WALL_CLOCK_TOLERANCE),
+    ("incremental.warm_hit_rate", "higher", 0.0),
 )
 
 

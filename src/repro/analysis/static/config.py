@@ -88,7 +88,7 @@ class AnalysisConfig:
         "PopularitySpec", "ChurnSpec", "FaultRegimeSpec", "CellResult",
         "WorkloadResult", "WorkloadMetrics", "Trace", "TraceOp",
         "MetricsRegistry", "Counter", "Gauge", "Histogram", "CounterMap",
-        "HopHistogram", "PhaseProfile", "MatrixReport",
+        "HopHistogram", "PhaseProfile", "MatrixReport", "CellCache",
     )
 
     #: Type names that must never appear on a boundary-class field: live
@@ -111,7 +111,9 @@ class AnalysisConfig:
     #: nondeterministic.  OBS001 demands each one be neutralized by a
     #: ``canonical_dict`` in the same module (popped or overwritten with a
     #: constant), and that no undeclared key be neutralized.
-    digest_excluded_keys: FrozenSet[str] = _fs("profile", "wall_seconds")
+    digest_excluded_keys: FrozenSet[str] = _fs(
+        "profile", "wall_seconds", "cache",
+    )
 
     #: Instrument base classes whose subclasses (and anything handed to
     #: ``MetricsRegistry.register``) must carry an associative ``merge``.

@@ -118,16 +118,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_matrix(args: argparse.Namespace) -> int:
     matrix = MatrixSpec.from_dict(_load_json(args.spec))
-    progress = None if args.no_progress else ProgressReporter()
-    report, _ = run_matrix(
-        matrix,
-        workers=args.workers,
-        progress=progress,
-        trace_dir=args.traces,
-        keep_results=False,
-        obs_dir=args.obs,
-        profile=args.profile,
-    )
+    if args.repeat < 1:
+        raise ValueError(f"--repeat must be >= 1, got {args.repeat}")
+    cache_dir = None if args.no_cache else args.cache_dir
+    pool = None
+    report = None
+    try:
+        if args.repeat > 1 and args.workers != 1:
+            from .exec.pool import WarmPool
+
+            pool = WarmPool(args.workers)
+        for iteration in range(args.repeat):
+            progress = None if args.no_progress else ProgressReporter()
+            report, _ = run_matrix(
+                matrix,
+                workers=args.workers,
+                progress=progress,
+                trace_dir=args.traces,
+                keep_results=False,
+                obs_dir=args.obs,
+                profile=args.profile,
+                cache_dir=cache_dir,
+                pool=pool,
+            )
+            stats = report.cache_stats
+            if stats is not None:
+                _note("cache: " + "  ".join(
+                    f"{key}={stats[key]}" for key in sorted(stats)
+                ))
+            if args.repeat > 1:
+                _note(
+                    f"run {iteration + 1}/{args.repeat}: "
+                    f"digest {report.digest()}"
+                )
+    finally:
+        if pool is not None:
+            pool.close()
     if args.traces:
         _note(f"cell traces -> {args.traces}")
     if args.obs:
@@ -256,6 +282,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="time run phases (wall clock) and add a profile section to "
              "the report — never part of the digest",
+    )
+    matrix_p.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="content-addressed cell cache: serve unchanged cells from DIR "
+             "instead of executing them, and store every executed cell — "
+             "the report digest is identical either way",
+    )
+    matrix_p.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir (one-shot escape hatch for scripted runs)",
+    )
+    matrix_p.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="run the grid N times in one process (with --workers != 1 a "
+             "warm pool keeps worker processes and their networks alive "
+             "between runs); prints each run's digest on stderr",
     )
     matrix_p.set_defaults(handler=_cmd_matrix)
 

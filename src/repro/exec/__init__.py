@@ -17,21 +17,56 @@ sequence the sequential engine would — which is what makes the merged
 any worker count.  Workers stream per-cell results into JSONL spool files;
 the parent polls the spools for progress/ETA and merges them by grid
 position.  ``python -m repro`` exposes the engine on the command line.
+
+Two layers make repeated sweeps cheap without bending any of the above:
+the content-addressed :class:`~repro.exec.cache.CellCache` serves
+unchanged cells from disk (chain-keyed so warm plan-cache counters still
+reproduce — see :mod:`repro.exec.cache`), and
+:class:`~repro.exec.pool.WarmPool` keeps worker processes and their
+per-topology networks alive across successive runs.  Both are
+digest-neutral by construction.
 """
 
+from .cache import (
+    CACHE_SCHEMA_VERSION,
+    CacheError,
+    CellCache,
+    CellKeyer,
+    IncrementalRunner,
+    cell_cache_key,
+    spec_fingerprint,
+)
 from .plan import ExecutionPlan, IndexedCell, Shard
+from .pool import WarmPool
 from .progress import ProgressReporter
 from .runner import run_matrix_parallel
-from .spool import count_spooled, dump_spool_line, load_spool, shard_spool_path
+from .spool import (
+    SpoolCursor,
+    SpoolError,
+    count_spooled,
+    dump_spool_line,
+    load_spool,
+    shard_spool_path,
+)
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheError",
+    "CellCache",
+    "CellKeyer",
     "ExecutionPlan",
+    "IncrementalRunner",
     "IndexedCell",
     "ProgressReporter",
     "Shard",
+    "SpoolCursor",
+    "SpoolError",
+    "WarmPool",
+    "cell_cache_key",
     "count_spooled",
     "dump_spool_line",
     "load_spool",
     "run_matrix_parallel",
     "shard_spool_path",
+    "spec_fingerprint",
 ]

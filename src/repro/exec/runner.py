@@ -18,6 +18,7 @@ cleanly because results never reference a live ``Network`` or planner.
 from __future__ import annotations
 
 import json
+import os
 import shutil
 import tempfile
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -35,11 +36,18 @@ from ..workload.matrix import (
     MatrixReport,
     MatrixSpec,
     run_cell,
-    shared_network_for,
     write_cell_trace,
 )
+from .cache import (
+    CellCache,
+    IncrementalRunner,
+    canonical_cell_payload,
+    merge_cache_stats,
+)
 from .plan import ExecutionPlan
-from .spool import count_spooled, dump_spool_line, load_spool, shard_spool_path
+from .pool import WarmPool, checkout_network
+from .spool import SpoolCursor, SpoolError, dump_spool_line, load_spool, \
+    shard_spool_path
 
 #: How often the parent polls spool files for progress while workers run.
 POLL_SECONDS = 0.2
@@ -53,6 +61,8 @@ ShardPayload = Tuple[
     Optional[str],                      # trace_dir
     Optional[str],                      # obs export dir
     bool,                               # profile (wall-clock phase timing)
+    Optional[str],                      # cell-cache dir
+    Optional[int],                      # warm-pool generation (None = no pool)
     Tuple[Tuple[int, MatrixCell], ...], # (position, cell) pairs
 ]
 
@@ -68,7 +78,12 @@ def _shard_metrics_path(obs_path: Path, shard_index: int) -> Path:
 
 def _run_shard(
     payload: ShardPayload,
-) -> Tuple[int, List[Tuple[int, WorkloadResult]], Optional[Dict[str, object]]]:
+) -> Tuple[
+    int,
+    List[Tuple[int, WorkloadResult]],
+    Optional[Dict[str, object]],
+    Optional[Dict[str, int]],
+]:
     """Worker entry point: run one shard's cells, spooling as they finish.
 
     Top-level (not a closure) so it pickles under the ``spawn`` start
@@ -80,17 +95,35 @@ def _run_shard(
     sequential run would (``spans-cell-NNNN.jsonl`` keyed on grid position)
     plus its own ``shard`` span file and a private metrics part the parent
     folds into ``metrics.jsonl``.  The third return element is the worker's
-    wall-clock phase profile (as a dict), or ``None``.
+    wall-clock phase profile (as a dict), or ``None``; the fourth is its
+    cache/warm-pool counter snapshot, or ``None`` when neither is in play.
+
+    With a cache dir the shard serves unchanged cells straight from the
+    content-addressed store (chain-keyed, so hits agree with the
+    sequential engine — see :mod:`repro.exec.cache`); with a warm-pool
+    generation it checks this worker process's persistent network store
+    before building a topology from scratch.
     """
     (
         shard_index, spool_path, share_networks, keep_results, trace_dir,
-        obs_dir, profile, cells,
+        obs_dir, profile, cache_dir, generation, cells,
     ) = payload
     obs_path = Path(obs_dir) if obs_dir is not None else None
     shard_tracer = SpanRecorder() if obs_path is not None else None
     shard_profile = PhaseProfile(f"shard-{shard_index}") if profile else None
     networks: Dict[str, Network] = {}
     kept: List[Tuple[int, WorkloadResult]] = []
+    stats: Dict[str, int] = {}
+    cache = runner = None
+    if cache_dir is not None:
+        cache = CellCache(cache_dir)
+        runner = IncrementalRunner(
+            cache,
+            share_networks=share_networks,
+            reads=not (
+                keep_results or trace_dir is not None or obs_path is not None
+            ),
+        )
     metrics_fp = None
     try:
         if obs_path is not None:
@@ -107,14 +140,26 @@ def _run_shard(
                     "shard", shard=shard_index, cells=len(cells)
                 )
             for position, cell in cells:
+                if runner is not None:
+                    cached = runner.lookup(cell)
+                    if cached is not None:
+                        fp.write(dump_spool_line(position, cached))
+                        fp.flush()
+                        continue
                 network: Optional[Network] = None
                 if share_networks:
-                    network = shared_network_for(networks, cell.spec)
+                    network = checkout_network(
+                        networks, cell.spec, generation, stats
+                    )
+                    if runner is not None:
+                        runner.warmup(cell, network)
                 cell_tracer = SpanRecorder() if obs_path is not None else None
                 with phase(CELL_RUN):
                     cell_result, result = run_cell(
                         cell, network=network, tracer=cell_tracer
                     )
+                if runner is not None:
+                    runner.record(cell_result)
                 fp.write(dump_spool_line(position, cell_result))
                 fp.flush()  # stream: the parent polls for progress
                 if obs_path is not None:
@@ -150,7 +195,9 @@ def _run_shard(
     profile_dict = (
         shard_profile.to_dict() if shard_profile is not None else None
     )
-    return shard_index, kept, profile_dict
+    if cache is not None:
+        merge_cache_stats(stats, cache.stats())
+    return shard_index, kept, profile_dict, (stats or None)
 
 
 def run_matrix_parallel(
@@ -163,6 +210,8 @@ def run_matrix_parallel(
     spool_dir=None,
     obs_dir=None,
     profile: bool = False,
+    cache_dir=None,
+    pool: Optional[WarmPool] = None,
 ) -> Tuple[MatrixReport, List[WorkloadResult]]:
     """Run ``matrix`` across worker processes; merge deterministically.
 
@@ -179,9 +228,20 @@ def run_matrix_parallel(
     per-shard metrics parts into one position-sorted ``metrics.jsonl``,
     records its own ``merge`` span, and the report gains a per-worker
     ``profile`` section that never enters the digest.
+
+    ``cache_dir`` names a content-addressed cell cache
+    (:class:`~repro.exec.cache.CellCache`): unchanged cells are served
+    from it instead of executed, and every executed cell is stored.
+    ``pool`` is a live :class:`~repro.exec.pool.WarmPool` whose worker
+    processes (and their per-topology networks) persist across calls; it
+    overrides ``workers`` and is not shut down here.  Both are
+    digest-neutral; their counters land in the report's digest-excluded
+    ``cache`` section.
     """
     from ..workload.matrix import run_matrix  # local: avoids import cycle
 
+    if pool is not None:
+        workers = pool.workers
     plan = ExecutionPlan.from_matrix(matrix, workers or 0)
     if len(plan.shards) <= 1:
         report, results = run_matrix(
@@ -192,16 +252,23 @@ def run_matrix_parallel(
             trace_dir=trace_dir,
             obs_dir=obs_dir,
             profile=profile,
+            cache_dir=cache_dir,
         )
         if spool_dir is not None:
             # Honour the requested artifact even when the grid collapsed to
-            # one in-process shard: same file name, same line format.
+            # one in-process shard: same file name, same line format, and —
+            # critically — the *planned* grid positions, exactly as the
+            # multi-shard path spools them.
             spool_root = Path(spool_dir)
             spool_root.mkdir(parents=True, exist_ok=True)
+            positions = [
+                indexed.position
+                for shard in plan.shards for indexed in shard.cells
+            ]
             with open(
                 shard_spool_path(spool_root, 0), "w", encoding="utf-8"
             ) as fp:
-                for position, cell_result in enumerate(report.cells):
+                for position, cell_result in zip(positions, report.cells):
                     fp.write(dump_spool_line(position, cell_result))
         return report, results
     own_spool = spool_dir is None
@@ -216,6 +283,8 @@ def run_matrix_parallel(
         _obs_export.export_dir(obs_dir) if obs_dir is not None else None
     )
     parent_profile = PhaseProfile("parent") if profile else None
+    generation = pool.generation if pool is not None and share_networks \
+        else None
     payloads: List[ShardPayload] = [
         (
             shard.index,
@@ -225,6 +294,8 @@ def run_matrix_parallel(
             str(trace_dir) if trace_dir is not None else None,
             str(obs_path) if obs_path is not None else None,
             profile,
+            str(cache_dir) if cache_dir is not None else None,
+            generation,
             tuple((indexed.position, indexed.cell) for indexed in shard.cells),
         )
         for shard in plan.shards
@@ -232,21 +303,36 @@ def run_matrix_parallel(
     total = plan.cell_count
     kept: Dict[int, WorkloadResult] = {}
     shard_profiles: Dict[int, Dict[str, object]] = {}
+    exec_stats: Dict[str, int] = {}
     try:
-        with ProcessPoolExecutor(max_workers=len(plan.shards)) as pool:
-            pending = {pool.submit(_run_shard, payload) for payload in payloads}
+        own_executor = pool is None
+        executor = (
+            ProcessPoolExecutor(max_workers=len(plan.shards))
+            if own_executor else pool.executor
+        )
+        try:
+            pending = {
+                executor.submit(_run_shard, payload) for payload in payloads
+            }
+            cursor = SpoolCursor(spool_paths)
             while pending:
                 done, pending = wait(
                     pending, timeout=POLL_SECONDS, return_when=FIRST_COMPLETED
                 )
                 if progress is not None:
-                    progress(min(count_spooled(spool_paths), total), total)
+                    progress(min(cursor.count(), total), total)
                 for future in done:
                     # Reraise worker errors here.
-                    shard_index, shard_kept, shard_profile = future.result()
+                    shard_index, shard_kept, shard_profile, shard_stats = \
+                        future.result()
                     kept.update(shard_kept)
                     if shard_profile is not None:
                         shard_profiles[shard_index] = shard_profile
+                    if shard_stats:
+                        merge_cache_stats(exec_stats, shard_stats)
+        finally:
+            if own_executor:
+                executor.shutdown(wait=True)
         if progress is not None:
             progress(total, total)
         merge_tracer = SpanRecorder() if obs_path is not None else None
@@ -256,9 +342,26 @@ def run_matrix_parallel(
                 "merge", shards=len(plan.shards), cells=total
             )
         merged: Dict[int, CellResult] = {}
+        sources: Dict[int, str] = {}
         with profiling(parent_profile), phase(SPOOL_MERGE):
             for path in spool_paths:
-                merged.update(load_spool(path))
+                for position, cell_result in load_spool(path):
+                    existing = merged.get(position)
+                    if existing is None:
+                        merged[position] = cell_result
+                        sources[position] = str(path)
+                        continue
+                    # Duplicates are legal only when byte-equal (an
+                    # idempotent re-spool); disagreeing records mean two
+                    # different cells claimed one grid position — the
+                    # old silent last-write-wins masked exactly that.
+                    if canonical_cell_payload(existing) != \
+                            canonical_cell_payload(cell_result):
+                        raise SpoolError(
+                            f"conflicting spool records for cell "
+                            f"{position}: {sources[position]} and {path} "
+                            f"disagree"
+                        )
             if sorted(merged) != list(range(total)):
                 missing = sorted(set(range(total)) - set(merged))
                 raise RuntimeError(
@@ -277,6 +380,16 @@ def run_matrix_parallel(
     results = [kept[position] for position in sorted(kept)] if keep_results \
         else []
     report = MatrixReport(matrix.to_dict(), cells, plan.skipped)
+    if cache_dir is not None or pool is not None:
+        if cache_dir is not None:
+            # Every counter appears even when zero, so cold and warm runs
+            # report the same key set.
+            merge_cache_stats(exec_stats, CellCache(cache_dir).stats())
+        report.attach_cache_stats(exec_stats)
+        if obs_path is not None:
+            _obs_export.write_cache_stats(
+                _obs_export.cache_stats_path(obs_path), exec_stats
+            )
     if profile:
         profiles = [parent_profile] + [
             PhaseProfile.from_dict(shard_profiles[index])
@@ -293,8 +406,16 @@ def run_matrix_parallel(
 def _merge_shard_metrics(obs_path: Path, plan: ExecutionPlan) -> None:
     """Fold the workers' metrics part files into one position-sorted
     ``metrics.jsonl`` — byte-identical to the file a sequential run writes —
-    then delete the parts."""
+    then delete the parts.
+
+    The parts are the only copy of the workers' metrics, so the merge must
+    not destroy them before the merged file exists: everything is read and
+    sorted first (a parse error here leaves every part intact on disk),
+    the merged file lands via a temp file + atomic rename, and only then
+    are the parts removed.
+    """
     lines: List[Tuple[int, str]] = []
+    parts: List[Path] = []
     for shard in plan.shards:
         part = _shard_metrics_path(obs_path, shard.index)
         if not part.exists():
@@ -303,8 +424,13 @@ def _merge_shard_metrics(obs_path: Path, plan: ExecutionPlan) -> None:
             for line in fp:
                 if line.strip():
                     lines.append((int(json.loads(line)["position"]), line))
-        part.unlink()
+        parts.append(part)
     lines.sort(key=lambda pair: pair[0])
-    with open(_obs_export.metrics_path(obs_path), "w", encoding="utf-8") as fp:
+    target = _obs_export.metrics_path(obs_path)
+    tmp = target.parent / f"{target.name}.{os.getpid()}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fp:
         for _, line in lines:
             fp.write(line)
+    os.replace(tmp, target)
+    for part in parts:
+        part.unlink()

@@ -135,6 +135,24 @@ class DeliveryPlanner:
         """The fault-plan revision the current caches are valid for."""
         return self._revision
 
+    def clear_caches(self) -> None:
+        """Forget every memoized plan, tree and surviving table.
+
+        ``reset_for_reuse`` deliberately keeps these caches warm — plans
+        are pure functions of the (static) graph and the fault revision,
+        so same-topology cells in one sweep share them.  A *warm worker
+        pool* reusing a network across separate ``run_matrix`` calls needs
+        the opposite: the plan-cache hit/miss counters are part of every
+        cell's reported results, so a recycled network must start exactly
+        as cold as a freshly built one.  Hit/miss counters themselves live
+        on :class:`MessageStats` and are untouched here.
+        """
+        self._revision = self._faults.revision
+        self._surviving_graph = None
+        self._surviving_table = None
+        self._trees.clear()
+        self._plans.clear()
+
     def cache_info(self) -> Dict[str, int]:
         """Sizes of the plan caches (hit/miss counters live on stats)."""
         self._sync()

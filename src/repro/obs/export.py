@@ -34,6 +34,7 @@ from .spans import Span, load_spans
 METRICS_FILE = "metrics.jsonl"
 PROFILE_FILE = "profile.json"
 MERGE_SPANS_FILE = "spans-merge.jsonl"
+CACHE_FILE = "cache.json"
 
 
 def export_dir(path) -> Path:
@@ -61,6 +62,32 @@ def metrics_path(directory) -> Path:
 def profile_path(directory) -> Path:
     """The wall-clock profile JSON file."""
     return Path(directory) / PROFILE_FILE
+
+
+def cache_stats_path(directory) -> Path:
+    """The cell-cache counter snapshot JSON file."""
+    return Path(directory) / CACHE_FILE
+
+
+def write_cache_stats(path, stats: Dict[str, int]) -> None:
+    """Persist one run's cache/warm-pool counters.
+
+    Written whenever a run had a cell cache enabled.  Note the obs export
+    itself forces every cell to execute (cached entries hold no spans or
+    metrics), so an exported run's counters show stores and misses, not
+    hits; the hit traffic belongs to plain runs.
+    """
+    payload = {"cache": {key: int(stats[key]) for key in sorted(stats)}}
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(payload, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+
+
+def load_cache_stats(path) -> Dict[str, int]:
+    """Read counters written by :func:`write_cache_stats`."""
+    with open(path, "r", encoding="utf-8") as fp:
+        payload = json.load(fp)
+    return {str(key): int(value) for key, value in payload.get("cache", {}).items()}
 
 
 def dump_metrics_line(

@@ -29,6 +29,7 @@ ROUTING_TABLE = "routing-table"
 PLAN_CACHE_WARM = "plan-cache-warm"
 CELL_RUN = "cell-run"
 SPOOL_MERGE = "spool-merge"
+CACHE_WARMUP = "cache-warmup"
 
 
 class PhaseProfile:

@@ -14,7 +14,9 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from .export import (
+    cache_stats_path,
     load_all_spans,
+    load_cache_stats,
     load_metrics,
     load_profiles,
     metrics_path,
@@ -68,6 +70,9 @@ def summarize_export(directory) -> Dict[str, object]:
     p_path = profile_path(directory)
     if p_path.exists():
         out["profile"] = profiles_dict(load_profiles(p_path))
+    c_path = cache_stats_path(directory)
+    if c_path.exists():
+        out["cache"] = load_cache_stats(c_path)
     if not out:
         raise ValueError(
             f"{directory} holds no observability export "
@@ -159,6 +164,8 @@ def render_summary(summary: Dict[str, object]) -> str:
                     f"    {name:<{width}}  {entry['seconds']:.6f}s"
                     f"  x{entry['count']}"
                 )
+    if "cache" in summary:
+        _section("cache", summary["cache"], lines)
     if "metrics" in summary:
         _section("metrics", summary["metrics"], lines)
     if "spans" in summary:

@@ -301,11 +301,13 @@ class MatrixReport:
         cells: Sequence[CellResult],
         skipped: Sequence[Dict[str, str]] = (),
         profile: Optional[Dict[str, object]] = None,
+        cache: Optional[Dict[str, int]] = None,
     ) -> None:
         self._grid = dict(grid)
         self._cells = list(cells)
         self._skipped = [dict(entry) for entry in skipped]
         self._profile = dict(profile) if profile else None
+        self._cache = dict(cache) if cache is not None else None
 
     @property
     def profile(self) -> Optional[Dict[str, object]]:
@@ -320,6 +322,22 @@ class MatrixReport:
     def attach_profile(self, profile: Dict[str, object]) -> None:
         """Install the run's wall-clock profile section."""
         self._profile = dict(profile)
+
+    @property
+    def cache_stats(self) -> Optional[Dict[str, int]]:
+        """Cell-cache / warm-pool counters, when either was enabled.
+
+        Hits, misses, stale/corrupt entries, stores, warm-up replays and
+        pool network reuses describe *how this run was computed*, not what
+        it computed — a fully cached run and a cold run of the same grid
+        are the same result.  The section is therefore excluded from
+        :meth:`canonical_dict`, exactly like ``profile``.
+        """
+        return dict(self._cache) if self._cache is not None else None
+
+    def attach_cache_stats(self, stats: Dict[str, int]) -> None:
+        """Install the run's cache/pool counter section."""
+        self._cache = {key: int(stats[key]) for key in sorted(stats)}
 
     @property
     def grid(self) -> Dict[str, object]:
@@ -429,19 +447,23 @@ class MatrixReport:
         }
         if self._profile is not None:
             data["profile"] = dict(self._profile)
+        if self._cache is not None:
+            data["cache"] = dict(self._cache)
         return data
 
     def canonical_dict(self) -> Dict[str, object]:
         """:meth:`to_dict` with every nondeterministic field neutralized.
 
-        Per-cell wall seconds and the wall-clock ``profile`` section are
-        the only nondeterministic content a report carries; zeroing the one
-        and dropping the other leaves exactly the bytes that must match
-        between a sequential run and any sharded parallel run of the same
-        grid — with or without observability enabled.
+        Per-cell wall seconds, the wall-clock ``profile`` section and the
+        how-was-this-computed ``cache`` section are the only
+        non-result content a report carries; zeroing the one and dropping
+        the others leaves exactly the bytes that must match between a
+        sequential run and any sharded parallel run of the same grid —
+        with or without observability or caching enabled.
         """
         data = self.to_dict()
         data.pop("profile", None)
+        data.pop("cache", None)
         for cell in data["cells"]:
             cell["wall_seconds"] = 0.0
         return data
@@ -465,6 +487,7 @@ class MatrixReport:
             cells=[CellResult.from_dict(cell) for cell in data.get("cells", [])],
             skipped=data.get("skipped", []),
             profile=data.get("profile"),
+            cache=data.get("cache"),
         )
 
     def to_path(self, path) -> None:
@@ -551,6 +574,8 @@ def run_matrix(
     trace_dir=None,
     obs_dir=None,
     profile: bool = False,
+    cache_dir=None,
+    pool=None,
 ) -> Tuple[MatrixReport, List[WorkloadResult]]:
     """Execute every cell of ``matrix`` and aggregate the results.
 
@@ -574,8 +599,18 @@ def run_matrix(
     report's ``profile`` section.  Both are digest-neutral: spans carry
     logical clocks only, and the profile section is excluded from
     :meth:`MatrixReport.canonical_dict`.
+
+    ``cache_dir`` enables the content-addressed cell cache
+    (:mod:`repro.exec.cache`): unchanged cells are served from disk
+    instead of executed (runs that must produce per-cell artifacts —
+    kept results, traces, the obs export — still execute everything but
+    populate the cache for later plain runs).  Sequential and parallel
+    runs share entries, and the report digest is byte-identical with the
+    cache cold, warm or absent; the counters land in the digest-excluded
+    ``cache`` section.  ``pool`` is a live
+    :class:`~repro.exec.pool.WarmPool` and implies parallel dispatch.
     """
-    if workers is not None and workers != 1:
+    if pool is not None or (workers is not None and workers != 1):
         from ..exec.runner import run_matrix_parallel
 
         return run_matrix_parallel(
@@ -587,6 +622,8 @@ def run_matrix(
             trace_dir=trace_dir,
             obs_dir=obs_dir,
             profile=profile,
+            cache_dir=cache_dir,
+            pool=pool,
         )
     cells, skipped = matrix.expand()
     run_profile = PhaseProfile("sequential") if profile else None
@@ -595,6 +632,18 @@ def run_matrix(
     networks: Dict[str, Network] = {}
     cell_results: List[CellResult] = []
     results: List[WorkloadResult] = []
+    cache = runner = None
+    if cache_dir is not None:
+        from ..exec.cache import CellCache, IncrementalRunner
+
+        cache = CellCache(cache_dir)
+        runner = IncrementalRunner(
+            cache,
+            share_networks=share_networks,
+            reads=not (
+                keep_results or trace_dir is not None or obs_path is not None
+            ),
+        )
     metrics_fp = None
     try:
         if obs_path is not None:
@@ -606,14 +655,25 @@ def run_matrix(
             if shard_tracer is not None:
                 shard_span = shard_tracer.begin("shard", shard=0, cells=len(cells))
             for position, cell in enumerate(cells):
+                if runner is not None:
+                    cached = runner.lookup(cell)
+                    if cached is not None:
+                        cell_results.append(cached)
+                        if progress is not None:
+                            progress(position + 1, len(cells))
+                        continue
                 network: Optional[Network] = None
                 if share_networks:
                     network = shared_network_for(networks, cell.spec)
+                    if runner is not None:
+                        runner.warmup(cell, network)
                 cell_tracer = SpanRecorder() if obs_path is not None else None
                 with phase(CELL_RUN):
                     cell_result, result = run_cell(
                         cell, network=network, tracer=cell_tracer
                     )
+                if runner is not None:
+                    runner.record(cell_result)
                 cell_results.append(cell_result)
                 if obs_path is not None:
                     cell_tracer.to_path(
@@ -646,6 +706,12 @@ def run_matrix(
         if metrics_fp is not None:
             metrics_fp.close()
     report = MatrixReport(matrix.to_dict(), cell_results, skipped)
+    if cache is not None:
+        report.attach_cache_stats(cache.stats())
+        if obs_path is not None:
+            _obs_export.write_cache_stats(
+                _obs_export.cache_stats_path(obs_path), cache.stats()
+            )
     if run_profile is not None:
         if obs_path is not None:
             _obs_export.write_profiles(

@@ -105,6 +105,62 @@ class TestMatrix:
         ) == MATRIX
 
 
+class TestIncremental:
+    def _digest(self, capsys) -> str:
+        return capsys.readouterr().out.strip()
+
+    def test_cache_dir_cold_then_warm_hits_everything(
+        self, matrix_file, tmp_path, capsys
+    ):
+        cache = tmp_path / "cache"
+        assert main([
+            "matrix", str(matrix_file), "--digest", "--no-progress",
+            "--cache-dir", str(cache),
+        ]) == 0
+        cold = capsys.readouterr()
+        assert "cache: " in cold.err
+        assert "hits=0" in cold.err
+        assert main([
+            "matrix", str(matrix_file), "--digest", "--no-progress",
+            "--cache-dir", str(cache),
+        ]) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out  # identical digest line
+        assert "hits=2" in warm.err  # every grid cell served from cache
+        assert "misses=0" in warm.err
+
+    def test_no_cache_overrides_cache_dir(
+        self, matrix_file, tmp_path, capsys
+    ):
+        cache = tmp_path / "cache"
+        assert main([
+            "matrix", str(matrix_file), "--digest", "--no-progress",
+            "--cache-dir", str(cache), "--no-cache",
+        ]) == 0
+        assert "cache: " not in capsys.readouterr().err
+        assert not cache.exists()
+
+    def test_repeat_reports_one_digest_per_run(self, matrix_file, capsys):
+        assert main([
+            "matrix", str(matrix_file), "--digest", "--no-progress",
+            "--workers", "2", "--repeat", "2",
+        ]) == 0
+        captured = capsys.readouterr()
+        report, _ = run_matrix(MATRIX)
+        lines = [
+            line for line in captured.err.splitlines()
+            if line.startswith("run ")
+        ]
+        assert len(lines) == 2
+        assert all(line.endswith(report.digest()) for line in lines)
+        assert captured.out.strip() == report.digest()
+
+    def test_repeat_below_one_exits_two(self, matrix_file):
+        assert main([
+            "matrix", str(matrix_file), "--no-progress", "--repeat", "0",
+        ]) == 2
+
+
 class TestReplay:
     def test_expect_verifies_byte_exact(self, spec_file, tmp_path, capsys):
         trace = tmp_path / "trace.jsonl"

@@ -15,6 +15,8 @@ import pytest
 from repro.exec import (
     ExecutionPlan,
     ProgressReporter,
+    SpoolCursor,
+    SpoolError,
     count_spooled,
     dump_spool_line,
     load_spool,
@@ -181,6 +183,70 @@ class TestSpool:
         record = json.loads(line)
         assert record["position"] == 3
         assert record["cell"]["strategy"] == "checkerboard"
+
+    def test_torn_record_mid_file_is_corruption_not_truncation(self, tmp_path):
+        # Only the *final* record may be incomplete (writer died mid-line).
+        # A torn record with complete records after it means the file was
+        # damaged, and silently dropping the tail would misreport finished
+        # cells as missing.
+        path = shard_spool_path(tmp_path, 2)
+        with open(path, "w", encoding="utf-8") as fp:
+            fp.write(dump_spool_line(0, self._cell()))
+            fp.write('{"position": 1, "cell": {"topo\n')
+            fp.write(dump_spool_line(2, self._cell()))
+        with pytest.raises(SpoolError, match=r"line 2"):
+            load_spool(path)
+
+    def test_complete_but_invalid_record_raises_with_location(self, tmp_path):
+        path = shard_spool_path(tmp_path, 3)
+        with open(path, "w", encoding="utf-8") as fp:
+            fp.write(dump_spool_line(0, self._cell()))
+            fp.write('{"position": 1}\n')  # newline landed, no "cell" field
+            fp.write(dump_spool_line(2, self._cell()))
+        with pytest.raises(SpoolError, match=rf"{path}.*line 2"):
+            load_spool(path)
+
+
+class TestSpoolCursor:
+    def _line(self, position) -> str:
+        return dump_spool_line(position, CellResult(
+            topology="complete:9", strategy="checkerboard", regime="none",
+            summary={}, plan_cache={}, wall_seconds=0.0,
+        ))
+
+    def test_counts_only_appended_bytes_across_polls(self, tmp_path):
+        path = shard_spool_path(tmp_path, 0)
+        cursor = SpoolCursor([path])
+        assert cursor.count() == 0  # file not created yet
+        with open(path, "w", encoding="utf-8") as fp:
+            fp.write(self._line(0))
+            fp.flush()
+            assert cursor.count() == 1
+            assert cursor.count() == 1  # nothing appended: no recount
+            fp.write(self._line(1))
+            fp.write(self._line(2))
+            fp.flush()
+            assert cursor.count() == 3
+
+    def test_partial_line_counts_once_its_newline_lands(self, tmp_path):
+        path = shard_spool_path(tmp_path, 0)
+        cursor = SpoolCursor([path])
+        whole = self._line(0)
+        with open(path, "w", encoding="utf-8") as fp:
+            fp.write(whole[:10])  # a record caught mid-write
+            fp.flush()
+            assert cursor.count() == 0
+            fp.write(whole[10:])
+            fp.flush()
+            assert cursor.count() == 1
+
+    def test_cursor_totals_across_files(self, tmp_path):
+        paths = [shard_spool_path(tmp_path, index) for index in range(2)]
+        cursor = SpoolCursor(paths)
+        paths[0].write_text(self._line(0), encoding="utf-8")
+        assert cursor.count() == 1
+        paths[1].write_text(self._line(1) + self._line(2), encoding="utf-8")
+        assert cursor.count() == 3
 
 
 class _TtyStringIO(io.StringIO):
