@@ -69,6 +69,13 @@ TRACKED: Tuple[Tuple[str, str, float], ...] = (
     # E19 — incremental sweeps through the cell cache.
     ("incremental.warm_speedup", "higher", WALL_CLOCK_TOLERANCE),
     ("incremental.warm_hit_rate", "higher", 0.0),
+    # E20 — virtual-clock latency (repro.simtime).  Timed runs are fully
+    # deterministic, so the percentiles get zero-tolerance bands; the
+    # poisson p99 ratio is the headline (centralized melts, checkerboard
+    # does not) and must not shrink.
+    ("latency.checkerboard.poisson.p99_us", "lower", 0.0),
+    ("latency.checkerboard.burst.p99_us", "lower", 0.0),
+    ("latency.p99_ratio_poisson", "higher", 0.0),
 )
 
 

@@ -61,6 +61,7 @@ from .strategies import (
     TreePathStrategy,
     default_registry,
 )
+from .simtime import LinkTiming, TimeModelSpec
 from .workload import (
     ArrivalSpec,
     ChurnSpec,
@@ -111,6 +112,7 @@ __all__ = [
     "HypercubeStrategy",
     "HypercubeTopology",
     "LighthouseLocate",
+    "LinkTiming",
     "ManhattanStrategy",
     "ManhattanTopology",
     "MatchMaker",
@@ -138,6 +140,7 @@ __all__ = [
     "SubgraphDecompositionStrategy",
     "SupervisorHierarchyStrategy",
     "SweepStrategy",
+    "TimeModelSpec",
     "Trace",
     "TreePathStrategy",
     "TreeTopology",

@@ -45,6 +45,16 @@ class AnalysisConfig:
         "repro.obs.profile", "repro.exec.progress",
     )
 
+    #: Declared clock helpers (by qualified name): the only functions a
+    #: wall-clock zone may export clock readings through.  Digest-cone code
+    #: calls these instead of reading the clock inline (their results must
+    #: still feed only digest-excluded fields); DET001 flags any *other*
+    #: zone function that returns a clock reading, so new doorways out of a
+    #: zone must be declared here.
+    wall_clock_helpers: FrozenSet[str] = _fs(
+        "repro.obs.profile.wall_clock",
+    )
+
     #: Wall-clock reads DET001 hunts (resolved through import aliases).
     wall_clock_calls: FrozenSet[str] = _fs(
         "time.time", "time.time_ns", "time.perf_counter",
@@ -88,7 +98,8 @@ class AnalysisConfig:
         "PopularitySpec", "ChurnSpec", "FaultRegimeSpec", "CellResult",
         "WorkloadResult", "WorkloadMetrics", "Trace", "TraceOp",
         "MetricsRegistry", "Counter", "Gauge", "Histogram", "CounterMap",
-        "HopHistogram", "PhaseProfile", "MatrixReport", "CellCache",
+        "HopHistogram", "LatencyHistogram", "PhaseProfile", "MatrixReport",
+        "CellCache", "TimeModelSpec", "LinkTiming",
     )
 
     #: Type names that must never appear on a boundary-class field: live

@@ -39,7 +39,9 @@ RULES: Dict[str, Tuple[str, str]] = {
         "wall-clock read in digest-affecting code",
         "time.time/perf_counter/monotonic/datetime.now may only appear in "
         "declared profile zones (repro.obs.profile, repro.exec.progress) or "
-        "under a pragma naming the digest-excluded field they feed.",
+        "under a pragma naming the digest-excluded field they feed; a zone "
+        "function that returns a clock reading must be declared in "
+        "wall_clock_helpers.",
     ),
     "DET002": (
         "module-level random draw",
@@ -160,12 +162,47 @@ def _finding(
 # -- DET001 / DET002 / DET003: forbidden calls in the cone --------------------------
 
 
+def _returned_clock_call(
+    function: FunctionNode, view: ModuleView, config: AnalysisConfig
+) -> Optional[ast.AST]:
+    """The wall-clock call a function returns (directly or inside a
+    returned expression), if any."""
+    for node in _scope_nodes(function.node):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        for sub in ast.walk(node.value):
+            if isinstance(sub, ast.Call):
+                dotted, _ = resolve_call_target(sub.func, view.imports)
+                if dotted in config.wall_clock_calls:
+                    return sub
+    return None
+
+
 def check_det001(
     view: ModuleView, project: ProjectIndex, config: AnalysisConfig,
     cone: frozenset,
 ) -> List[Finding]:
     if config.zone_allows_wall_clock(view.module):
-        return []
+        # A zone reads the clock freely for its own accounting, but a
+        # function that *returns* a clock reading is a doorway out of the
+        # zone — callers anywhere (including the digest cone) receive raw
+        # wall-clock values through it.  Every doorway must be declared in
+        # wall_clock_helpers, so the set of sanctioned clock sources stays
+        # explicit and reviewable.
+        zone_findings: List[Finding] = []
+        for function in view.functions:
+            if function.qualname in config.wall_clock_helpers:
+                continue
+            clock_call = _returned_clock_call(function, view, config)
+            if clock_call is not None:
+                zone_findings.append(_finding(
+                    view, "DET001", clock_call,
+                    f"zone function {function.qualname} returns a wall-clock "
+                    f"reading but is not declared in wall_clock_helpers — "
+                    f"undeclared clock doorway out of the zone",
+                    function,
+                ))
+        return zone_findings
     findings: List[Finding] = []
     for function, nodes in _relevant_scopes(view, cone):
         for node in nodes:

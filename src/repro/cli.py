@@ -88,6 +88,14 @@ def _note(message: str) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = ScenarioSpec.from_dict(_load_json(args.spec))
+    if getattr(args, "time_model", None):
+        from dataclasses import replace as _replace
+
+        from .simtime import TimeModelSpec
+
+        spec = _replace(
+            spec, time_model=TimeModelSpec.from_dict(_load_json(args.time_model))
+        )
     tracer = SpanRecorder() if args.obs else None
     result = run_scenario(spec, tracer=tracer)
     if args.obs:
@@ -248,6 +256,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--obs", metavar="DIR",
         help="write the run's span tree and metrics registry under DIR",
+    )
+    run_p.add_argument(
+        "--time-model", metavar="PATH",
+        help="attach a TimeModelSpec (JSON) so the run prices messages on "
+        "the virtual clock and reports latency percentiles",
     )
     run_p.set_defaults(handler=_cmd_run)
 

@@ -116,7 +116,8 @@ def random_fault_plan(
     protected: Iterable[Hashable] = (),
     rendezvous_size: Optional[int] = None,
     strict: bool = False,
-) -> FaultPlan:
+    at_time: Optional[float] = None,
+):
     """Crash ``node_failures`` uniformly random nodes, never the protected
     ones.
 
@@ -130,6 +131,13 @@ def random_fault_plan(
     :class:`ValueError`; by default the count is clamped to the tolerated
     maximum with a :class:`UserWarning`, so a sweep keeps running but the
     over-ask is visible.
+
+    By default the crashes are instantaneous state — a :class:`FaultPlan`.
+    Pass ``at_time`` to get the same crash *set* as a scheduled
+    :class:`FaultTimeline` instead (every victim crashes at that virtual
+    time, no recoveries), ready to merge into a timed run's fault program.
+    The victims come from one ``rng.sample`` draw either way, so the same
+    seed fells the same nodes in both shapes.
     """
     # The rendezvous clamp runs first: a non-strict over-ask the clamp can
     # satisfy must keep the sweep running even when the raw count exceeds
@@ -153,8 +161,13 @@ def random_fault_plan(
             f"cannot crash {node_failures} nodes; only {len(candidates)} "
             f"unprotected nodes exist"
         )
+    struck = rng.sample(candidates, node_failures)
+    if at_time is not None:
+        return FaultTimeline(
+            FaultEvent(at_time, CRASH_NODE, (node,)) for node in struck
+        )
     plan = FaultPlan()
-    for node in rng.sample(candidates, node_failures):
+    for node in struck:
         plan.crash_node(node)
     return plan
 
@@ -230,6 +243,18 @@ class FaultTimeline:
     def merged(self, other: "FaultTimeline") -> "FaultTimeline":
         """A new timeline interleaving this one with ``other`` by time."""
         return FaultTimeline(self._events + other._events)
+
+    def shifted(self, offset: float) -> "FaultTimeline":
+        """A copy with every event moved ``offset`` seconds later.
+
+        Lets a canned fault program (e.g. a :func:`random_fault_plan`
+        rendered with ``at_time``) be replayed at different points of a
+        run's virtual clock without regenerating its random choices.
+        """
+        return FaultTimeline(
+            FaultEvent(event.time + offset, event.kind, event.subject)
+            for event in self._events
+        )
 
     def event_counts(self) -> Dict[str, int]:
         """How many events of each kind the timeline holds."""

@@ -120,6 +120,10 @@ class Network:
         self._clock = EventLoop()
         self._rng = random.Random(seed)
         self._timestamps = itertools.count(1)
+        #: Optional message tap (repro.simtime's timed overlay).  The tap
+        #: only *observes* deliveries; it never changes what is delivered,
+        #: which is the digest-neutrality contract of timed runs.
+        self._tap = None
 
     # -- structure ----------------------------------------------------------
 
@@ -259,6 +263,7 @@ class Network:
         self._clock = EventLoop()
         self._rng = random.Random(self._seed)
         self._timestamps = itertools.count(1)
+        self._tap = None
 
     def reset_to_cold(self) -> None:
         """:meth:`reset_for_reuse`, plus dropping the planner's warm caches.
@@ -272,6 +277,23 @@ class Network:
         """
         self.reset_for_reuse()
         self._planner.clear_caches()
+
+    # -- message tap ----------------------------------------------------------
+
+    def attach_tap(self, tap) -> None:
+        """Install a message tap (one at a time).
+
+        The tap sees every delivery fan-out (``on_delivery``), reply burst
+        (``on_replies``) and payload message (``on_payload``) as pure
+        observations — see :class:`repro.simtime.binding.TimedOverlay`.
+        """
+        if self._tap is not None:
+            raise RuntimeError("a message tap is already attached")
+        self._tap = tap
+
+    def detach_tap(self) -> None:
+        """Remove the message tap (idempotent)."""
+        self._tap = None
 
     # -- message delivery -----------------------------------------------------
 
@@ -337,6 +359,8 @@ class Network:
             delivered = sum(1 for d in destinations if d in outcome.reached)
         self._stats.record_delivery(category, delivered, message_count - delivered)
         self._stats.record_load(outcome.reached)
+        if self._tap is not None:
+            self._tap.on_delivery(source, outcome.reached, category, mode)
         tracer = active_tracer()
         if tracer is not None:
             tracer.event(
@@ -487,6 +511,8 @@ class Network:
             REPLY, reply_hops, message_count=len(responders) + lost_replies
         )
         self._stats.record_delivery(REPLY, len(responders), lost_replies)
+        if self._tap is not None:
+            self._tap.on_replies(responders, client_node, mode)
         tracer = active_tracer()
         if tracer is not None:
             tracer.event(
@@ -519,6 +545,8 @@ class Network:
         hops = 0 if source == destination else table.distance(source, destination)
         self._stats.record(PAYLOAD, hops, message_count=1)
         self._stats.record_delivery(PAYLOAD, 1, 0)
+        if self._tap is not None:
+            self._tap.on_payload(source, destination)
         return hops
 
     def cache_sizes(self) -> Dict[Hashable, int]:

@@ -98,6 +98,20 @@ class PhaseProfile:
         return profile
 
 
+def wall_clock() -> float:
+    """The declared wall-clock read for measurement plumbing.
+
+    Digest-cone code that needs a wall-clock reading (the driver's
+    ``wall_seconds``, which ``canonical_dict`` zeroes) takes it from here
+    instead of calling ``time.perf_counter()`` inline.  The static analyzer
+    knows this helper by name (``wall_clock_helpers`` in its config): calls
+    to it are allowed anywhere, while raw clock reads in the digest cone
+    still raise DET001 — one declared doorway instead of per-call-site
+    pragmas.
+    """
+    return time.perf_counter()
+
+
 # -- the active profile -------------------------------------------------------
 
 _ACTIVE: Optional[PhaseProfile] = None

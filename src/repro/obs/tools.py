@@ -49,12 +49,51 @@ def _registry_summary(serialized: Dict[str, object]) -> Dict[str, object]:
     return out
 
 
+#: Instrument names a timed run (``repro.simtime``) registers; the
+#: summarizer lifts them out of the flat metrics section into their own
+#: ``latency`` section, with the p99.9 tail the time model exists to show.
+_TIMED_INSTRUMENTS = (
+    "request_latency_us", "queue_wait_us", "queue_depth",
+    "message_timeouts", "link_busy_us", "virtual_time_us",
+)
+
+
+def _latency_section(
+    serialized: Dict[str, object]
+) -> Optional[Dict[str, object]]:
+    """The timed-run instruments as one section, or ``None`` if the export
+    came from untimed runs (the instruments only exist when a time model
+    was attached)."""
+    if "request_latency_us" not in serialized:
+        return None
+    out: Dict[str, object] = {}
+    for name in _TIMED_INSTRUMENTS:
+        payload = serialized.get(name)
+        if payload is None:
+            continue
+        kind = payload.get("type")
+        if kind == "histogram":
+            histogram = Histogram.from_dump(payload)
+            data = histogram.to_dict()
+            if name.endswith("_us"):
+                data["p999"] = histogram.percentile(99.9)
+            out[name] = data
+        elif kind == "counter_map":
+            counts = payload.get("counts", {})
+            out[name] = {"total": sum(counts.values()), "keys": len(counts)}
+        else:
+            out[name] = payload.get("value")
+    return out
+
+
 def summarize_export(directory) -> Dict[str, object]:
     """Digest one export directory: metrics, span breakdowns, profiles.
 
     Sections are independent — a spans-only or metrics-only directory
     summarizes fine; a directory with neither is an error, not an empty
-    answer.
+    answer.  Exports from timed runs additionally get a ``latency``
+    section (request latency, queue waits and depths, timeouts, link
+    utilization inputs); untimed exports have no such key.
     """
     directory = Path(directory)
     out: Dict[str, object] = {}
@@ -63,7 +102,13 @@ def summarize_export(directory) -> Dict[str, object]:
         entries = load_metrics(m_path)
         merged = merge_registries(registry for _, registry in entries)
         out["cells"] = len(entries)
-        out["metrics"] = _registry_summary(merged.to_dict())
+        serialized = merged.to_dict()
+        latency = _latency_section(serialized)
+        if latency is not None:
+            for name in _TIMED_INSTRUMENTS:
+                serialized.pop(name, None)
+            out["latency"] = latency
+        out["metrics"] = _registry_summary(serialized)
     span_sets = load_all_spans(directory)
     if span_sets:
         out["spans"] = span_breakdown(span_sets)
@@ -123,6 +168,9 @@ def diff_exports(dir_a, dir_b) -> Dict[str, object]:
         "metrics": _diff_tree(
             summary_a.get("metrics", {}), summary_b.get("metrics", {})
         ) or {},
+        "latency": _diff_tree(
+            summary_a.get("latency", {}), summary_b.get("latency", {})
+        ) or {},
         "spans": _diff_tree(
             summary_a.get("spans", {}), summary_b.get("spans", {})
         ) or {},
@@ -168,6 +216,8 @@ def render_summary(summary: Dict[str, object]) -> str:
         _section("cache", summary["cache"], lines)
     if "metrics" in summary:
         _section("metrics", summary["metrics"], lines)
+    if "latency" in summary:
+        _section("latency", summary["latency"], lines)
     if "spans" in summary:
         _section("spans", summary["spans"], lines)
     return "\n".join(lines)
@@ -178,5 +228,7 @@ def render_diff(diff: Dict[str, object]) -> str:
     cells = diff.get("cells", {})
     lines = [f"cells: a={cells.get('a', 0)} b={cells.get('b', 0)}"]
     _section("metrics delta (b - a)", diff.get("metrics", {}), lines)
+    if diff.get("latency"):
+        _section("latency delta (b - a)", diff["latency"], lines)
     _section("spans delta (b - a)", diff.get("spans", {}), lines)
     return "\n".join(lines)

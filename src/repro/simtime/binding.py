@@ -1,0 +1,232 @@
+"""The timed overlay: pricing a synchronous run on the virtual clock.
+
+The synchronous simulator is the repo's source of truth — every digest,
+trace and differential test pins its results.  So the time model does not
+*replace* delivery; it rides on top.  :class:`TimedOverlay` registers as
+the network's message tap: while a REQUEST op executes, every delivery the
+op makes (query fan-out, replies, payload round trip) is captured as a
+*batch* of ``(source, destination)`` messages.  When the op completes, the
+overlay prices the batches on the discrete-event kernel:
+
+1. batch ``k`` starts when batch ``k - 1`` finished (the synchronous
+   execution already established the causal order: replies follow queries,
+   the payload follows the locate);
+2. each message walks its shortest path hop by hop — every link is a
+   :class:`~repro.simtime.queueing.FifoResource` with the model's latency,
+   seeded jitter and capacity, every node a FIFO server with the model's
+   service time;
+3. queue state persists across requests, so an open-loop arrival stream
+   genuinely contends: a hot centralized node's queue grows while
+   checkerboard traffic spreads — hop counts become p50/p99 latency.
+
+Request latency is the virtual time from the op's arrival to its last
+batch completion, recorded in integer microseconds.  Everything is a pure
+function of (trace, model, seed): replaying a trace reproduces every
+histogram bucket exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Tuple
+
+from ..core.exceptions import NoRouteError, UnknownNodeError
+from .kernel import SimKernel
+from .model import TimeModelSpec, link_key
+from .queueing import FifoResource
+
+#: One captured message: (source, destination).
+_Message = Tuple[Hashable, Hashable]
+
+#: Microseconds per virtual second (latency histograms are integer-valued).
+_US = 1_000_000
+
+
+def _to_us(seconds: float) -> int:
+    """Virtual seconds as integer microseconds (histograms are
+    integer-valued; one microsecond of quantization is far below any
+    modeled latency)."""
+    return int(round(seconds * _US))
+
+
+class TimedOverlay:
+    """Prices one run's requests on the virtual clock (see module doc).
+
+    ``metrics`` must have had ``enable_timing()`` called; the overlay
+    writes latency, queue-wait, queue-depth, timeout and link-busy
+    instruments directly.  Attach with ``network.attach_tap(overlay)``;
+    the driver begins/finishes a capture around each REQUEST op and calls
+    :meth:`finalize` once after the run's last op.
+    """
+
+    def __init__(
+        self,
+        network,
+        model: TimeModelSpec,
+        seed: int,
+        metrics,
+    ) -> None:
+        self._network = network
+        self._model = model
+        self._metrics = metrics
+        self._kernel = SimKernel()
+        #: Jitter stream: consumed in kernel event order, so run and replay
+        #: draw identically.
+        self._jitter = random.Random(f"{seed}/simtime")
+        self._links: Dict[str, FifoResource] = {}
+        self._nodes: Dict[str, FifoResource] = {}
+        self._batches: List[List[_Message]] = []
+        self._capturing = False
+        self._arrival = 0.0
+        self._horizon = 0.0
+
+    # -- the network tap ------------------------------------------------------
+
+    def on_delivery(
+        self, source: Hashable, reached, category: str, mode: str
+    ) -> None:
+        """One delivery fan-out: ``source`` to every reached destination."""
+        if not self._capturing:
+            return
+        pairs = [
+            (source, destination)
+            for destination in sorted(reached, key=repr)
+            if destination != source
+        ]
+        if pairs:
+            self._batches.append(pairs)
+
+    def on_replies(
+        self, responders, client: Hashable, mode: str
+    ) -> None:
+        """Reply messages: each responder back to the querying client."""
+        if not self._capturing:
+            return
+        pairs = [
+            (responder, client)
+            for responder in sorted(responders, key=repr)
+            if responder != client
+        ]
+        if pairs:
+            self._batches.append(pairs)
+
+    def on_payload(self, source: Hashable, destination: Hashable) -> None:
+        """One point-to-point application message."""
+        if not self._capturing:
+            return
+        if source != destination:
+            self._batches.append([(source, destination)])
+
+    # -- request pricing ------------------------------------------------------
+
+    def begin_request(self, at: float) -> None:
+        """Start capturing the message batches of the request arriving at
+        virtual time ``at``."""
+        self._capturing = True
+        self._batches = []
+        self._arrival = at
+
+    def finish_request(self) -> Tuple[int, float]:
+        """Price the captured batches; returns ``(latency_us,
+        completed_at)``.
+
+        Batches run under barrier causality: batch ``k`` launches when
+        batch ``k - 1``'s last surviving message arrived.  A batch whose
+        every message was dropped (queue-wait timeout) ends the pipeline —
+        nothing downstream of it could have been sent.
+        """
+        self._capturing = False
+        clock = self._arrival
+        for batch in self._batches:
+            completions: List[float] = []
+            for source, destination in batch:
+                self._launch(clock, source, destination, completions)
+            self._kernel.run()
+            if not completions:
+                break
+            clock = max(clock, max(completions))
+        self._batches = []
+        if clock > self._horizon:
+            self._horizon = clock
+        latency_us = _to_us(clock - self._arrival)
+        self._metrics.observe_latency(latency_us)
+        return latency_us, clock
+
+    def _path(self, source: Hashable, destination: Hashable) -> List[Hashable]:
+        """The node sequence a message traverses.
+
+        ``ideal`` delivery models the complete network of section 2: one
+        virtual link straight to the destination (overrides keyed on that
+        pair still price it).  Other modes walk the *surviving* shortest
+        path — the same tables the synchronous delivery used, so fault ops
+        replayed from a trace reroute the overlay identically.  A
+        destination the synchronous run reached but the surviving table
+        cannot route (multicast tree edge cases) falls back to the direct
+        virtual link.
+        """
+        if self._network.delivery_mode == "ideal":
+            return [source, destination]
+        table = self._network.planner.routing_table()
+        try:
+            return table.shortest_path(source, destination)
+        except (NoRouteError, UnknownNodeError):
+            return [source, destination]
+
+    def _launch(
+        self,
+        at: float,
+        source: Hashable,
+        destination: Hashable,
+        completions: List[float],
+    ) -> None:
+        """Schedule one message's hop-by-hop walk on the kernel."""
+        path = self._path(source, destination)
+        model = self._model
+        metrics = self._metrics
+
+        def hop(index: int, time: float) -> None:
+            if index >= len(path) - 1:
+                completions.append(time)
+                return
+            u, v = path[index], path[index + 1]
+            key = link_key(u, v)
+            timing = model.link_timing(key)
+            link = self._links.get(key)
+            if link is None:
+                link = self._links[key] = FifoResource(timing.capacity)
+            hold = timing.latency
+            if timing.jitter:
+                hold += self._jitter.uniform(0.0, timing.jitter)
+            metrics.observe_queue_depth(link.depth(time))
+            _, end, wait, dropped = link.acquire(
+                time, hold, model.timeout, watermark=self._arrival
+            )
+            metrics.observe_queue_wait(_to_us(wait))
+            if dropped:
+                metrics.observe_timeout()
+                return
+            metrics.add_link_busy(key, _to_us(hold))
+            service = model.service_time(repr(v))
+            if service > 0.0:
+                node_repr = repr(v)
+                node = self._nodes.get(node_repr)
+                if node is None:
+                    node = self._nodes[node_repr] = FifoResource(1)
+                metrics.observe_queue_depth(node.depth(end))
+                _, end, wait, dropped = node.acquire(
+                    end, service, model.timeout, watermark=self._arrival
+                )
+                metrics.observe_queue_wait(_to_us(wait))
+                if dropped:
+                    metrics.observe_timeout()
+                    return
+            self._kernel.schedule(end, lambda t, i=index: hop(i + 1, t))
+
+        self._kernel.schedule(at, lambda t: hop(0, t))
+
+    # -- end of run -----------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Close out the run: record link busy-time and the virtual
+        horizon, so summaries can derive per-link utilization."""
+        self._metrics.set_virtual_horizon(_to_us(self._horizon))

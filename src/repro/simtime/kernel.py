@@ -1,0 +1,84 @@
+"""The discrete-event kernel: a heap of timed callbacks on a virtual clock.
+
+The kernel is the package's only scheduler and the reason ``repro.simtime``
+stays deterministic: time is a plain float that moves only when an event is
+popped, never a reading of any OS clock (DET001 has nothing to find here).
+Events scheduled for the same instant fire in scheduling order — a
+monotonically increasing sequence number breaks heap ties, so two messages
+entering a queue "simultaneously" are served in the order the simulation
+issued them, not in callback-address order.
+
+The workload driver runs the kernel in *batches*: each executed request
+schedules its message events and drains the heap before the next op
+executes.  Queueing state (see :mod:`.queueing`) persists across batches,
+which is how requests that overlap in virtual time contend for the same
+links even though the synchronous simulation executes them one at a time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+
+class SimKernel:
+    """A heap-ordered virtual-time event loop.
+
+    ``now`` is the time of the most recently fired event; it starts at 0.0
+    and only :meth:`run` advances it.  Scheduling an event in the past of
+    ``now`` is allowed (a later-simulated request may have arrived earlier
+    in virtual time); resources clamp service starts themselves, so the
+    kernel only promises *ordering*: within one :meth:`run`, events fire in
+    nondecreasing ``(time, seq)`` order.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[[float], None]]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._fired = 0
+
+    @property
+    def now(self) -> float:
+        """Virtual time of the most recently fired event."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Events scheduled but not yet fired."""
+        return len(self._heap)
+
+    @property
+    def fired(self) -> int:
+        """Total events fired over the kernel's lifetime."""
+        return self._fired
+
+    def schedule(self, at: float, callback: Callable[[float], None]) -> None:
+        """Fire ``callback(at)`` when the clock reaches ``at``.
+
+        ``at`` must be finite and non-negative; the callback receives the
+        event's own time (which may trail :attr:`now` for late-scheduled
+        but early-arriving events).
+        """
+        if not at >= 0.0:  # also rejects NaN
+            raise ValueError(f"event time must be >= 0, got {at!r}")
+        if at == float("inf"):
+            raise ValueError("cannot schedule at infinity")
+        heapq.heappush(self._heap, (at, self._seq, callback))
+        self._seq += 1
+
+    def run(self) -> float:
+        """Fire every pending event (including ones events schedule).
+
+        Returns the clock after the batch.  Callbacks may call
+        :meth:`schedule`; the heap keeps global ``(time, seq)`` order, so a
+        hop event scheduling the next hop interleaves correctly with every
+        other in-flight message.
+        """
+        while self._heap:
+            at, _, callback = heapq.heappop(self._heap)
+            if at > self._now:
+                self._now = at
+            self._fired += 1
+            callback(at)
+        return self._now

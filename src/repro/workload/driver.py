@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import heapq
 import random
-import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -33,8 +32,9 @@ from ..core.types import Port
 from ..network import faults as _faults
 from ..network.simulator import Network
 from ..network.stats import PAYLOAD, QUERY, REPLY
-from ..obs.profile import TOPOLOGY_BUILD, phase
+from ..obs.profile import TOPOLOGY_BUILD, phase, wall_clock
 from ..obs.spans import SpanRecorder, active_tracer, tracing
+from ..simtime.binding import TimedOverlay
 from ..processes.client import ClientProcess
 from ..processes.server import ServerProcess
 from ..processes.system import DistributedSystem
@@ -136,6 +136,8 @@ class _RunState:
         #: failover respawns install the replacement process in the same slot.
         self.slots = slots
         self.client_nodes = frozenset(client.node for client in clients)
+        #: Timed overlay pricing this run's requests (``None`` = untimed).
+        self.overlay: Optional[TimedOverlay] = None
 
 
 class WorkloadDriver:
@@ -223,6 +225,31 @@ class WorkloadDriver:
         ]
         return _RunState(system, clients, slots)
 
+    def _attach_overlay(
+        self, state: _RunState, metrics: WorkloadMetrics
+    ) -> None:
+        """Install the timed overlay when the spec carries a time model.
+
+        Untimed specs leave the network tap empty and the metrics registry
+        without timed instruments — the run is bit-for-bit the one a
+        pre-simtime build produced.
+        """
+        model = self.spec.time_model
+        if model is None:
+            return
+        metrics.enable_timing()
+        state.overlay = TimedOverlay(
+            state.network, model, self.spec.seed, metrics
+        )
+        state.network.attach_tap(state.overlay)
+
+    def _detach_overlay(self, state: _RunState) -> None:
+        """Close out the timed overlay after the run's last op."""
+        if state.overlay is not None:
+            state.overlay.finalize()
+            state.network.detach_tap()
+            state.overlay = None
+
     # -- the op interpreter ----------------------------------------------------
 
     def _exec_op(
@@ -258,17 +285,29 @@ class WorkloadDriver:
                 request_span = tracer.begin(
                     "request", client=client_index, port=port_index
                 )
+            overlay = state.overlay
+            if overlay is not None:
+                overlay.begin_request(op.time)
             outcome = system.request(client, port, payload=None)
             locate_hops = (
                 hops.get(QUERY, 0) - query0 + hops.get(REPLY, 0) - reply0
             )
             total_hops = locate_hops + hops.get(PAYLOAD, 0) - payload0
+            timing_attrs: Dict[str, object] = {}
+            if overlay is not None:
+                latency_us, completed_at = overlay.finish_request()
+                timing_attrs["latency_us"] = latency_us
+                if tracer is not None:
+                    # The request span closes at its virtual completion time
+                    # (its begin kept the arrival time from set_clock above).
+                    tracer.set_clock(completed_at)
             if tracer is not None:
                 tracer.end(
                     request_span,
                     ok=outcome.ok,
                     locate_hops=locate_hops,
                     hops=total_hops,
+                    **timing_attrs,
                 )
             metrics.observe_request(
                 ok=outcome.ok,
@@ -474,7 +513,8 @@ class WorkloadDriver:
         pending_recoveries: List[Tuple[float, int]] = []
         churn_cursor = 0
         fault_cursor = 0
-        started = _time.perf_counter()  # repro: allow[DET001] — feeds wall_seconds, which canonical_dict zeroes
+        self._attach_overlay(state, metrics)
+        started = wall_clock()  # feeds wall_seconds, which canonical_dict zeroes
 
         def _drain(until: float) -> None:
             """Execute recoveries, fault events and churn due at or before
@@ -526,7 +566,8 @@ class WorkloadDriver:
                 self._exec_op(state, metrics, op)
             _drain(float("inf"))
 
-        wall = _time.perf_counter() - started  # repro: allow[DET001] — feeds wall_seconds, which canonical_dict zeroes
+        wall = wall_clock() - started
+        self._detach_overlay(state)
         merge_node_load(metrics, state.network.stats.node_load, load_baseline)
         return WorkloadResult(
             spec=spec,
@@ -545,11 +586,13 @@ class WorkloadDriver:
         metrics = WorkloadMetrics(universe_size=len(self._nodes))
         load_baseline = dict(state.network.stats.node_load)
         plan_baseline = dict(state.network.stats.plan_events)
-        started = _time.perf_counter()  # repro: allow[DET001] — feeds wall_seconds, which canonical_dict zeroes
+        self._attach_overlay(state, metrics)
+        started = wall_clock()  # feeds wall_seconds, which canonical_dict zeroes
         with tracing(tracer):
             for op in trace:
                 self._exec_op(state, metrics, op)
-        wall = _time.perf_counter() - started  # repro: allow[DET001] — feeds wall_seconds, which canonical_dict zeroes
+        wall = wall_clock() - started
+        self._detach_overlay(state)
         merge_node_load(metrics, state.network.stats.node_load, load_baseline)
         return WorkloadResult(
             spec=self.spec,

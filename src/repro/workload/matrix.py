@@ -45,6 +45,7 @@ from ..obs import export as _obs_export
 from ..obs.profile import CELL_RUN, TOPOLOGY_BUILD, PhaseProfile, phase, profiling
 from ..obs.registry import CounterMap
 from ..obs.spans import SpanRecorder
+from ..simtime.model import TimeModelSpec
 from .driver import WorkloadDriver, WorkloadResult
 from .spec import (
     ArrivalSpec,
@@ -106,6 +107,11 @@ class MatrixSpec:
     arrivals: Tuple[ArrivalSpec, ...] = ()
     popularities: Tuple[PopularitySpec, ...] = ()
     churns: Tuple[ChurnSpec, ...] = ()
+    #: Time-model axis (``repro.simtime``): each entry may be a
+    #: :class:`~repro.simtime.model.TimeModelSpec` or ``None`` (untimed),
+    #: so one grid can compare hop counts against priced latency.  Empty
+    #: keeps the base's single model, exactly like the other model axes.
+    time_models: Tuple[Optional[TimeModelSpec], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.topologies or not self.strategies or not self.fault_regimes:
@@ -120,7 +126,7 @@ class MatrixSpec:
             len(self.topologies) * len(self.strategies)
             * len(self.fault_regimes)
             * max(1, len(self.arrivals)) * max(1, len(self.popularities))
-            * max(1, len(self.churns))
+            * max(1, len(self.churns)) * max(1, len(self.time_models))
         )
 
     def expand(self) -> Tuple[List[MatrixCell], List[Dict[str, str]]]:
@@ -133,6 +139,7 @@ class MatrixSpec:
         arrivals = self.arrivals or (self.base.arrival,)
         popularities = self.popularities or (self.base.popularity,)
         churns = self.churns or (self.base.churn,)
+        time_models = self.time_models or (self.base.time_model,)
         regime_labels = _regime_labels(self.fault_regimes)
         cells: List[MatrixCell] = []
         skipped: List[Dict[str, str]] = []
@@ -152,41 +159,46 @@ class MatrixSpec:
                     for a, arrival in enumerate(arrivals):
                         for p, popularity in enumerate(popularities):
                             for c, churn in enumerate(churns):
-                                parts = [
-                                    self.name, topology_name, strategy_name,
-                                    regime_label,
-                                ]
-                                # Model axes only appear in the name when
-                                # they actually vary, so the common 3-axis
-                                # grid keeps short cell names.
-                                if len(arrivals) > 1:
-                                    parts.append(f"a{a}")
-                                if len(popularities) > 1:
-                                    parts.append(f"p{p}")
-                                if len(churns) > 1:
-                                    parts.append(f"c{c}")
-                                # The cell key is the coordinate string minus
-                                # the matrix name, so renaming a grid keeps
-                                # every cell's seed (and therefore results).
-                                key = "/".join(parts[1:])
-                                spec = replace(
-                                    self.base,
-                                    name="/".join(parts),
-                                    topology=topology_name,
-                                    strategy=strategy_name,
-                                    faults=regime,
-                                    arrival=arrival,
-                                    popularity=popularity,
-                                    churn=churn,
-                                    seed=stable_seed(self.base.seed, key),
-                                )
-                                cells.append(MatrixCell(
-                                    spec=spec,
-                                    topology=topology_name,
-                                    strategy=strategy_name,
-                                    regime=regime_label,
-                                    key=key,
-                                ))
+                                for t, time_model in enumerate(time_models):
+                                    parts = [
+                                        self.name, topology_name,
+                                        strategy_name, regime_label,
+                                    ]
+                                    # Model axes only appear in the name when
+                                    # they actually vary, so the common 3-axis
+                                    # grid keeps short cell names.
+                                    if len(arrivals) > 1:
+                                        parts.append(f"a{a}")
+                                    if len(popularities) > 1:
+                                        parts.append(f"p{p}")
+                                    if len(churns) > 1:
+                                        parts.append(f"c{c}")
+                                    if len(time_models) > 1:
+                                        parts.append(f"t{t}")
+                                    # The cell key is the coordinate string
+                                    # minus the matrix name, so renaming a
+                                    # grid keeps every cell's seed (and
+                                    # therefore results).
+                                    key = "/".join(parts[1:])
+                                    spec = replace(
+                                        self.base,
+                                        name="/".join(parts),
+                                        topology=topology_name,
+                                        strategy=strategy_name,
+                                        faults=regime,
+                                        arrival=arrival,
+                                        popularity=popularity,
+                                        churn=churn,
+                                        time_model=time_model,
+                                        seed=stable_seed(self.base.seed, key),
+                                    )
+                                    cells.append(MatrixCell(
+                                        spec=spec,
+                                        topology=topology_name,
+                                        strategy=strategy_name,
+                                        regime=regime_label,
+                                        key=key,
+                                    ))
         return cells, skipped
 
     def to_dict(self) -> Dict[str, object]:
@@ -197,7 +209,7 @@ class MatrixSpec:
         ``regime_labels`` and ``cell_count`` ride along for report readers
         and are ignored on the way back in.
         """
-        return {
+        data = {
             "name": self.name,
             "topologies": list(self.topologies),
             "strategies": list(self.strategies),
@@ -209,6 +221,15 @@ class MatrixSpec:
             "churns": [asdict(churn) for churn in self.churns],
             "cell_count": self.cell_count,
         }
+        # Like ScenarioSpec's ``time_model``: the axis appears only when
+        # used, so untimed grid descriptions (and their report digests)
+        # are byte-identical to pre-simtime output.
+        if self.time_models:
+            data["time_models"] = [
+                model.to_dict() if model is not None else None
+                for model in self.time_models
+            ]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "MatrixSpec":
@@ -222,7 +243,7 @@ class MatrixSpec:
         """
         known = {
             "name", "topologies", "strategies", "fault_regimes", "base",
-            "arrivals", "popularities", "churns",
+            "arrivals", "popularities", "churns", "time_models",
             "regime_labels", "cell_count",  # derived, to_dict round-trip
         }
         unknown = sorted(set(data) - known)
@@ -248,6 +269,10 @@ class MatrixSpec:
             ),
             churns=tuple(
                 ChurnSpec(**churn) for churn in data.get("churns", ())
+            ),
+            time_models=tuple(
+                TimeModelSpec.from_dict(dict(model)) if model else None
+                for model in data.get("time_models", ())
             ),
         )
 
@@ -390,6 +415,15 @@ class MatrixReport:
                 ),
                 "plan_hit_rate": round(plan_hit_rates(plan_events)["plan"], 4),
             }
+            # Latency aggregates exist only when the whole group was timed;
+            # untimed (or mixed) groups keep the pre-simtime key set.
+            if all("latency" in c.summary for c in members):
+                aggregated[label]["p99_latency_us"] = max(
+                    c.summary["latency"]["p99"] for c in members
+                )
+                aggregated[label]["p999_latency_us"] = max(
+                    c.summary["latency"]["p999"] for c in members
+                )
         return aggregated
 
     def by_strategy(self) -> Dict[str, Dict[str, object]]:

@@ -30,6 +30,33 @@ class HopHistogram(Histogram):
         super().__init__(buckets=None)
 
 
+#: Log-spaced microsecond bounds (1-2-5 per decade, 1us .. 500s) shared by
+#: every latency-shaped histogram, so merges across runs and matrix cells
+#: always see an identical bucket layout.
+LATENCY_BUCKETS_US: Tuple[int, ...] = tuple(
+    mantissa * 10 ** exponent for exponent in range(9) for mantissa in (1, 2, 5)
+)
+
+
+class LatencyHistogram(Histogram):
+    """A fixed log-bucket histogram of integer-microsecond samples.
+
+    Latencies are continuous-ish (jitter, queueing), so the exact-mode
+    histogram would grow one bucket per distinct value; the fixed 1-2-5
+    decade grid keeps summaries small and merges layout-compatible.  Tail
+    behaviour is the whole point of a time model, so the summary adds a
+    p99.9 to the registry histogram's standard p50/p95/p99.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(buckets=LATENCY_BUCKETS_US)
+
+    def to_dict(self) -> Dict[str, object]:
+        data = super().to_dict()
+        data["p999"] = self.percentile(99.9)
+        return data
+
+
 class WorkloadMetrics:
     """Aggregated measurements of one workload run, registry-backed.
 
@@ -73,6 +100,15 @@ class WorkloadMetrics:
         #: balance).  A gauge: merging runs keeps the largest universe.
         self._universe = registry.gauge("universe_size")
         self._universe.set(universe_size)
+        #: Timed-run instruments (see :meth:`enable_timing`): ``None`` until
+        #: a time model attaches, so an untimed run's registry, export and
+        #: summary never mention them.
+        self.request_latency: Optional[LatencyHistogram] = None
+        self.queue_wait: Optional[LatencyHistogram] = None
+        self.queue_depth: Optional[HopHistogram] = None
+        self._message_timeouts = None
+        self.link_busy: Optional[CounterMap] = None
+        self._virtual_horizon = None
 
     # -- registry plumbing ----------------------------------------------------
 
@@ -142,6 +178,83 @@ class WorkloadMetrics:
         """Count one executed fault-timeline event."""
         self.fault_events.bump(kind)
 
+    # -- timed runs (repro.simtime) -------------------------------------------
+
+    def enable_timing(self) -> None:
+        """Register the timed-run instruments (idempotent).
+
+        Called only when a scenario carries a time model.  The digest
+        contract of untimed runs is *absence*: none of these names appear
+        in the registry, the obs export or :meth:`summary` unless timing
+        was enabled, which keeps ``time_model=None`` results byte-identical
+        to pre-simtime builds.
+        """
+        if self.timed:
+            return
+        registry = self._registry
+        #: Virtual request latency: op arrival to last message delivered.
+        self.request_latency = registry.register(
+            "request_latency_us", LatencyHistogram()
+        )
+        #: Wait suffered at each queue visit (0 = no contention).
+        self.queue_wait = registry.register(
+            "queue_wait_us", LatencyHistogram()
+        )
+        #: Queue depth sampled at each message arrival (small exact ints).
+        self.queue_depth = registry.register("queue_depth", HopHistogram())
+        self._message_timeouts = registry.counter("message_timeouts")
+        #: Busy microseconds per link (keyed by simtime ``link_key``).
+        self.link_busy = registry.counter_map("link_busy_us")
+        #: The run's virtual horizon: the latest message completion time.
+        self._virtual_horizon = registry.gauge("virtual_time_us")
+
+    @property
+    def timed(self) -> bool:
+        """Whether the timed instruments are registered on this run."""
+        return self.request_latency is not None
+
+    def observe_latency(self, latency_us: int) -> None:
+        """Record one request's virtual latency in microseconds."""
+        self.request_latency.add(latency_us)
+
+    def observe_queue_wait(self, wait_us: int) -> None:
+        """Record the wait one message suffered at one queue."""
+        self.queue_wait.add(wait_us)
+
+    def observe_queue_depth(self, depth: int) -> None:
+        """Record the queue depth one message saw on arrival."""
+        self.queue_depth.add(depth)
+
+    def observe_timeout(self) -> None:
+        """Count one message dropped by a queue-wait timeout."""
+        self._message_timeouts.inc()
+
+    def add_link_busy(self, key: str, busy_us: int) -> None:
+        """Accumulate service time carried by the link ``key``."""
+        self.link_busy.bump(key, busy_us)
+
+    def set_virtual_horizon(self, horizon_us: int) -> None:
+        """Install the run's virtual end-of-time (drives utilization)."""
+        self._virtual_horizon.set(horizon_us)
+
+    @property
+    def message_timeouts(self) -> int:
+        return self._message_timeouts.value if self._message_timeouts else 0
+
+    @property
+    def virtual_time_us(self) -> int:
+        return int(self._virtual_horizon.value) if self._virtual_horizon else 0
+
+    def link_utilization(self, limit: int = 5) -> Dict[str, float]:
+        """The ``limit`` busiest links as ``{link_key: busy/horizon}``."""
+        horizon = self.virtual_time_us
+        if not horizon or not self.link_busy:
+            return {}
+        ranked = sorted(
+            self.link_busy.items(), key=lambda pair: (-pair[1], pair[0])
+        )
+        return {key: round(busy / horizon, 4) for key, busy in ranked[:limit]}
+
     # -- derived quantities ---------------------------------------------------
 
     @property
@@ -196,8 +309,10 @@ class WorkloadMetrics:
 
         Two runs of the same scenario spec produce byte-identical summaries;
         the driver's wall-clock numbers deliberately live outside this dict.
+        Timed runs append ``latency`` and ``queues`` sections; untimed runs
+        omit the keys entirely (the digest-neutrality contract).
         """
-        return {
+        data: Dict[str, object] = {
             "requests": self.requests,
             "successes": self.successes,
             "failures": self.failures,
@@ -215,6 +330,16 @@ class WorkloadMetrics:
             # round-trip (persisted matrix cells compare equal after reload).
             "hottest_nodes": [list(pair) for pair in self.hottest_nodes()],
         }
+        if self.timed:
+            data["latency"] = self.request_latency.to_dict()
+            data["queues"] = {
+                "depth": self.queue_depth.to_dict(),
+                "wait_us": self.queue_wait.to_dict(),
+                "message_timeouts": self.message_timeouts,
+                "virtual_us": self.virtual_time_us,
+                "link_utilization": self.link_utilization(),
+            }
+        return data
 
 
 def merge_node_load(

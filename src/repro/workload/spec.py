@@ -17,7 +17,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, Hashable, Iterable, List
+from typing import Dict, Hashable, Iterable, List, Optional
 
 from ..core.exceptions import StrategyError
 from ..core.strategy import MatchMakingStrategy
@@ -29,6 +29,7 @@ from ..network.faults import (
     region_partition,
 )
 from ..network.graph import Graph
+from ..simtime.model import TimeModelSpec
 from ..strategies import (
     CubeConnectedCyclesStrategy,
     HierarchicalGatewayStrategy,
@@ -243,6 +244,10 @@ class ScenarioSpec:
     popularity: PopularitySpec = field(default_factory=PopularitySpec)
     churn: ChurnSpec = field(default_factory=ChurnSpec)
     faults: FaultRegimeSpec = field(default_factory=FaultRegimeSpec)
+    #: Optional discrete-event time model (``repro.simtime``).  ``None``
+    #: keeps the run untimed and its serialized form *key-free* — see
+    #: :meth:`to_dict` — so every pre-simtime digest is preserved.
+    time_model: Optional[TimeModelSpec] = None
 
     def __post_init__(self) -> None:
         if self.operations < 1:
@@ -260,8 +265,19 @@ class ScenarioSpec:
         return replace(self, strategy=strategy, name=name or f"{self.name}:{strategy}")
 
     def to_dict(self) -> Dict[str, object]:
-        """A JSON-safe dictionary describing this scenario."""
-        return asdict(self)
+        """A JSON-safe dictionary describing this scenario.
+
+        An untimed spec omits the ``time_model`` key entirely (rather than
+        emitting ``null``): trace headers, cache keys and digests of every
+        scenario recorded before — or simply without — the time model stay
+        byte-identical.
+        """
+        data = asdict(self)
+        if self.time_model is None:
+            del data["time_model"]
+        else:
+            data["time_model"] = self.time_model.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
@@ -272,6 +288,10 @@ class ScenarioSpec:
         payload["churn"] = ChurnSpec(**payload.get("churn", {}))
         # Traces recorded before fault regimes existed have no "faults" key.
         payload["faults"] = FaultRegimeSpec(**payload.get("faults", {}))
+        time_model = payload.get("time_model")
+        if time_model and not isinstance(time_model, TimeModelSpec):
+            time_model = TimeModelSpec.from_dict(time_model)
+        payload["time_model"] = time_model or None
         return cls(**payload)
 
 

@@ -58,13 +58,43 @@ class TestDet001:
         session = run_analyzer(tmp_path, src)
         assert session.findings == []
 
-    def test_silent_in_declared_zone(self, tmp_path):
+    def _zone_session(self, tmp_path, source, config=None):
         pkg = tmp_path / "repro" / "obs" / "profile"
         pkg.mkdir(parents=True)
         for parent in (tmp_path / "repro", tmp_path / "repro" / "obs", pkg):
             (parent / "__init__.py").write_text("")
-        (pkg / "timers.py").write_text(DET001_SRC)
-        session = analyze_paths([tmp_path / "repro"])
+        (pkg / "timers.py").write_text(source)
+        return analyze_paths(
+            [tmp_path / "repro"], config=config or AnalysisConfig()
+        )
+
+    def test_silent_in_declared_zone(self, tmp_path):
+        # Clock reads that stay inside the zone (consumed, not returned)
+        # are the zone's whole purpose.
+        src = (
+            "import time as _time\n\n"
+            "def run():\n"
+            "    started = _time.perf_counter()\n"
+            "    elapsed = _time.perf_counter() - started\n"
+            "    print(elapsed)\n"
+        )
+        session = self._zone_session(tmp_path, src)
+        assert session.findings == []
+
+    def test_zone_function_returning_clock_needs_declaration(self, tmp_path):
+        # A zone function that *returns* a raw clock reading is a doorway
+        # out of the zone; undeclared doorways are DET001 findings.
+        session = self._zone_session(tmp_path, DET001_SRC)
+        assert rule_ids(session) == ["DET001"]
+        assert "doorway" in session.findings[0].message
+
+    def test_declared_wall_clock_helper_is_allowed(self, tmp_path):
+        config = AnalysisConfig(
+            wall_clock_helpers=frozenset(
+                {"repro.obs.profile.timers.run"}
+            ),
+        )
+        session = self._zone_session(tmp_path, DET001_SRC, config=config)
         assert session.findings == []
 
     def test_import_time_code_is_always_scrutinized(self, tmp_path):

@@ -271,3 +271,42 @@ class TestRandomFaultPlanGuard:
         with pytest.warns(UserWarning, match="clamping"):
             plan = random_fault_plan(graph, 14, rng, rendezvous_size=4)
         assert len(plan.crashed_nodes) == 3
+
+
+class TestRandomFaultPlanAtTime:
+    def test_at_time_returns_timeline_of_crashes(self, grid):
+        timeline = random_fault_plan(grid, 3, random.Random(7), at_time=2.5)
+        assert isinstance(timeline, FaultTimeline)
+        assert timeline.event_counts() == {CRASH_NODE: 3}
+        assert all(event.time == 2.5 for event in timeline.events)
+
+    def test_same_seed_fells_the_same_nodes_in_both_shapes(self, grid):
+        plan = random_fault_plan(grid, 4, random.Random(99))
+        timeline = random_fault_plan(grid, 4, random.Random(99), at_time=1.0)
+        struck = {event.subject[0] for event in timeline.events}
+        assert struck == set(plan.crashed_nodes)
+
+    def test_default_shape_unchanged(self, grid):
+        plan = random_fault_plan(grid, 2, random.Random(5))
+        assert isinstance(plan, FaultPlan)
+        assert len(plan.crashed_nodes) == 2
+
+    def test_at_time_respects_protected_and_clamp(self, grid):
+        protected = list(grid.nodes)[:2]
+        with pytest.warns(UserWarning, match="clamping"):
+            timeline = random_fault_plan(
+                grid, 9, random.Random(3), protected=protected,
+                rendezvous_size=4, at_time=0.5,
+            )
+        struck = {event.subject[0] for event in timeline.events}
+        assert len(struck) == 3
+        assert struck.isdisjoint(protected)
+
+    def test_shifted_moves_every_event(self, grid):
+        timeline = random_fault_plan(grid, 3, random.Random(7), at_time=2.0)
+        shifted = timeline.shifted(1.5)
+        assert [event.time for event in shifted.events] == [3.5, 3.5, 3.5]
+        assert (
+            [event.subject for event in shifted.events]
+            == [event.subject for event in timeline.events]
+        )

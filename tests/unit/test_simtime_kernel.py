@@ -1,0 +1,108 @@
+"""The discrete-event kernel: ordering, tie-breaking, validation.
+
+The kernel is the determinism anchor of ``repro.simtime`` — every other
+simtime guarantee (byte-identical replays, worker-count invariance) leans
+on events firing in exact ``(time, seq)`` order, so that contract is
+pinned here event by event.
+"""
+
+import pytest
+
+from repro.simtime import SimKernel
+
+
+class TestScheduleValidation:
+    def test_rejects_negative_time(self):
+        kernel = SimKernel()
+        with pytest.raises(ValueError):
+            kernel.schedule(-0.1, lambda t: None)
+
+    def test_rejects_nan(self):
+        kernel = SimKernel()
+        with pytest.raises(ValueError):
+            kernel.schedule(float("nan"), lambda t: None)
+
+    def test_rejects_infinity(self):
+        kernel = SimKernel()
+        with pytest.raises(ValueError):
+            kernel.schedule(float("inf"), lambda t: None)
+
+    def test_zero_is_a_valid_time(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule(0.0, fired.append)
+        assert kernel.run() == 0.0
+        assert fired == [0.0]
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self):
+        kernel = SimKernel()
+        order = []
+        for at in (3.0, 1.0, 2.0):
+            kernel.schedule(at, order.append)
+        assert kernel.run() == 3.0
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_simultaneous_events_fire_in_scheduling_order(self):
+        kernel = SimKernel()
+        order = []
+        kernel.schedule(1.0, lambda t: order.append("first"))
+        kernel.schedule(1.0, lambda t: order.append("second"))
+        kernel.schedule(1.0, lambda t: order.append("third"))
+        kernel.run()
+        assert order == ["first", "second", "third"]
+
+    def test_callbacks_may_schedule_more_events(self):
+        kernel = SimKernel()
+        order = []
+
+        def chain(t):
+            order.append(t)
+            if t < 3.0:
+                kernel.schedule(t + 1.0, chain)
+
+        kernel.schedule(1.0, chain)
+        assert kernel.run() == 3.0
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_nested_events_interleave_with_pending_ones(self):
+        kernel = SimKernel()
+        order = []
+        kernel.schedule(1.0, lambda t: kernel.schedule(1.5, order.append))
+        kernel.schedule(2.0, order.append)
+        kernel.run()
+        assert order == [1.5, 2.0]
+
+
+class TestClock:
+    def test_now_starts_at_zero(self):
+        assert SimKernel().now == 0.0
+
+    def test_now_never_moves_backward(self):
+        # A callback may be scheduled before `now` (late-scheduled but
+        # early-arriving); the clock holds rather than rewinding.
+        kernel = SimKernel()
+        seen = []
+        kernel.schedule(5.0, lambda t: kernel.schedule(2.0, seen.append))
+        kernel.run()
+        assert seen == [2.0]
+        assert kernel.now == 5.0
+
+    def test_run_accumulates_across_batches(self):
+        kernel = SimKernel()
+        kernel.schedule(1.0, lambda t: None)
+        assert kernel.run() == 1.0
+        kernel.schedule(4.0, lambda t: None)
+        assert kernel.run() == 4.0
+        assert kernel.fired == 2
+
+    def test_pending_and_fired_counters(self):
+        kernel = SimKernel()
+        kernel.schedule(1.0, lambda t: None)
+        kernel.schedule(2.0, lambda t: None)
+        assert kernel.pending == 2
+        assert kernel.fired == 0
+        kernel.run()
+        assert kernel.pending == 0
+        assert kernel.fired == 2
