@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """The bench-trajectory regression gate.
 
-``BENCH_workload.json`` accumulates the headline numbers of the E15-E19
+``BENCH_workload.json`` accumulates the headline numbers of the E15-E21
 benchmarks PR after PR; this script turns that record into a CI gate.  It
 compares every tracked metric against ``trajectory_baseline.json`` (the
 committed snapshot of the last accepted trajectory) under a per-metric
@@ -76,6 +76,12 @@ TRACKED: Tuple[Tuple[str, str, float], ...] = (
     ("latency.checkerboard.poisson.p99_us", "lower", 0.0),
     ("latency.checkerboard.burst.p99_us", "lower", 0.0),
     ("latency.p99_ratio_poisson", "higher", 0.0),
+    # E21 — tail-latency attribution.  The dominant contributor's share of
+    # the critical path is a structural fact of the burst workload and
+    # fully deterministic; the rendezvous bottleneck may sharpen but must
+    # never fade from the attribution.
+    ("attribution.top_share_tail", "higher", 0.0),
+    ("attribution.top_share_overall", "higher", 0.0),
 )
 
 

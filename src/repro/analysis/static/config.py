@@ -99,7 +99,7 @@ class AnalysisConfig:
         "WorkloadResult", "WorkloadMetrics", "Trace", "TraceOp",
         "MetricsRegistry", "Counter", "Gauge", "Histogram", "CounterMap",
         "HopHistogram", "LatencyHistogram", "PhaseProfile", "MatrixReport",
-        "CellCache", "TimeModelSpec", "LinkTiming",
+        "CellCache", "TimeModelSpec", "LinkTiming", "Timeline", "SloSpec",
     )
 
     #: Type names that must never appear on a boundary-class field: live
@@ -129,7 +129,7 @@ class AnalysisConfig:
     #: Instrument base classes whose subclasses (and anything handed to
     #: ``MetricsRegistry.register``) must carry an associative ``merge``.
     instrument_bases: FrozenSet[str] = _fs(
-        "Counter", "Gauge", "Histogram", "CounterMap",
+        "Counter", "Gauge", "Histogram", "CounterMap", "Timeline",
     )
 
     #: Rule ids disabled wholesale (handy for tests and scoped runs).

@@ -54,6 +54,7 @@ from .obs import (
     export_dir,
     metrics_path,
 )
+from .obs.export import timeline_path, write_timelines
 from .obs.tools import (
     diff_exports,
     render_diff,
@@ -111,6 +112,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 },
                 result.metrics.registry,
             ))
+        if result.exemplars:
+            write_timelines(timeline_path(obs_path, 0), result.exemplars)
         _note(f"observability export ({len(tracer)} spans) -> {args.obs}")
     if args.trace:
         result.trace.to_path(args.trace)
@@ -177,6 +180,13 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs.attr import (
+        attribute_export,
+        diff_attribution,
+        render_attribution,
+        render_attribution_diff,
+    )
+
     if args.obs_command == "summarize":
         summary = summarize_export(args.dir)
         if args.json:
@@ -184,11 +194,29 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         else:
             print(render_summary(summary))
         return 0
+    if args.obs_command == "attribute":
+        attribution = attribute_export(args.dir, top=args.top)
+        if args.json:
+            _emit(attribution)
+        else:
+            print(render_attribution(attribution))
+        return 0
+    if getattr(args, "attribute", False):
+        diff = diff_attribution(args.dir_a, args.dir_b, top=args.top)
+        if args.json:
+            _emit(diff)
+        else:
+            print(render_attribution_diff(diff))
+        return 0
     diff = diff_exports(args.dir_a, args.dir_b)
     if args.json:
         _emit(diff)
     else:
-        print(render_diff(diff))
+        print(render_diff(
+            diff,
+            before=summarize_export(args.dir_a),
+            after=summarize_export(args.dir_b),
+        ))
     return 0
 
 
@@ -327,11 +355,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit JSON instead of text"
     )
     summarize_p.set_defaults(handler=_cmd_obs)
+    attribute_p = obs_sub.add_parser(
+        "attribute",
+        help="rank critical-path contributors of a timed export — which "
+             "queue/link/service segment carries the tail latency",
+    )
+    attribute_p.add_argument("dir", help="export directory (from --obs)")
+    attribute_p.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="contributor rows to keep per section (default 10)",
+    )
+    attribute_p.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    attribute_p.set_defaults(handler=_cmd_obs)
     diff_p = obs_sub.add_parser(
         "diff", help="numeric metric/span deltas between two exports (b - a)"
     )
     diff_p.add_argument("dir_a", help="baseline export directory")
     diff_p.add_argument("dir_b", help="comparison export directory")
+    diff_p.add_argument(
+        "--attribute", action="store_true",
+        help="explain the delta as ranked critical-path contributor "
+             "changes instead of raw metric/span deltas (timed exports)",
+    )
+    diff_p.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="contributor rows with --attribute (default 10)",
+    )
     diff_p.add_argument(
         "--json", action="store_true", help="emit JSON instead of text"
     )

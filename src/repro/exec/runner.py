@@ -176,6 +176,11 @@ def _run_shard(
                         },
                         result.metrics.registry,
                     ))
+                    if result.exemplars:
+                        _obs_export.write_timelines(
+                            _obs_export.timeline_path(obs_path, position),
+                            result.exemplars,
+                        )
                     shard_tracer.set_clock(float(position))
                     shard_tracer.event(
                         "cell-run", position=position, cell=cell.spec.name

@@ -57,6 +57,7 @@ from .registry import (
     merge_registries,
 )
 from .spans import Span, SpanRecorder, active_tracer, load_spans, tracing
+from .timeline import Timeline
 
 __all__ = [
     "CELL_RUN",
@@ -72,6 +73,7 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "TOPOLOGY_BUILD",
+    "Timeline",
     "active_profile",
     "active_tracer",
     "cell_span_path",

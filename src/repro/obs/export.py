@@ -13,6 +13,10 @@ One matrix (or single-scenario) run with observability enabled produces an
     one line per cell — grid coordinates plus the cell's full
     :class:`~repro.obs.registry.MetricsRegistry` dump (histogram buckets
     included, so any percentile re-derives exactly);
+``timelines-cell-NNNN.jsonl``
+    the slowest-k exemplar request timelines of a *timed* cell (one JSON
+    record per request: batches, segments, critical path — see
+    :mod:`repro.simtime.binding`); untimed cells write no such file;
 ``profile.json``
     per-worker wall-clock phase profiles, only when profiling was on.
 
@@ -52,6 +56,41 @@ def cell_span_path(directory, position: int) -> Path:
 def shard_span_path(directory, shard_index: int) -> Path:
     """Where shard ``shard_index``'s exec-engine spans live."""
     return Path(directory) / f"spans-shard-{shard_index:03d}.jsonl"
+
+
+def timeline_path(directory, position: int) -> Path:
+    """Where cell ``position``'s exemplar request timelines live."""
+    return Path(directory) / f"timelines-cell-{position:04d}.jsonl"
+
+
+def write_timelines(path, exemplars: Iterable[Dict[str, object]]) -> None:
+    """Persist one cell's exemplar timelines, one JSON record per line.
+
+    Keys are sorted, so a sequential run and any sharded run write the
+    byte-identical file for the same cell.
+    """
+    with open(path, "w", encoding="utf-8") as fp:
+        for record in exemplars:
+            fp.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_timelines(path) -> List[Dict[str, object]]:
+    """Read exemplar timelines written by :func:`write_timelines`."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fp:
+        for line in fp:
+            if line.strip():
+                records.append(json.loads(line))
+    return records
+
+
+def load_all_timelines(directory) -> List[Tuple[str, List[Dict[str, object]]]]:
+    """Every timeline file in an export directory, as ``(file_name,
+    records)``, sorted by name (= by grid position)."""
+    out = []
+    for path in sorted(Path(directory).glob("timelines-cell-*.jsonl")):
+        out.append((path.name, load_timelines(path)))
+    return out
 
 
 def metrics_path(directory) -> Path:

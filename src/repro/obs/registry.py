@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from .timeline import Timeline
+
 
 class Counter:
     """A monotonically increasing count."""
@@ -137,8 +139,16 @@ class Histogram:
     def percentile(self, p: float) -> int:
         """The nearest-rank ``p``-th percentile (0 when empty).
 
-        In fixed-bucket mode the result is the bucket's upper bound — the
-        conservative answer a production histogram gives.
+        In fixed-bucket mode the result interpolates linearly *within* the
+        bucket holding the rank: the true sample lies somewhere in
+        ``(lower_bound, upper_bound]``, and assuming it uniform beats
+        always answering the upper bound (which overstates the tail by up
+        to a full bucket width on the wide high-end buckets a 1-2-5 grid
+        has).  The rank sitting at the bucket's last sample still answers
+        the upper bound, so a percentile never exceeds what the old
+        conservative rule reported.  Overflow samples (beyond the last
+        bound) have no upper edge to interpolate toward and keep the
+        sentinel ``last_bound + 1``.
         """
         if not 0 < p <= 100:
             raise ValueError("p must be in (0, 100]")
@@ -147,9 +157,21 @@ class Histogram:
         rank = max(1, -(-self._total * p // 100))  # ceil without floats
         seen = 0
         for value in sorted(self._counts):
-            seen += self._counts[value]
+            in_bucket = self._counts[value]
+            seen += in_bucket
             if seen >= rank:
-                return value
+                if self._buckets is None or value > self._buckets[-1]:
+                    # Exact mode, or the unbounded overflow bucket.
+                    return value
+                lower = 0
+                for bound in self._buckets:
+                    if bound == value:
+                        break
+                    lower = bound
+                position = rank - (seen - in_bucket)  # 1 .. in_bucket
+                return lower + int(round(
+                    (value - lower) * position / in_bucket
+                ))
         return self.max  # pragma: no cover - unreachable
 
     def merge(self, other: "Histogram") -> None:
@@ -276,13 +298,19 @@ class MetricsRegistry:
         """The counter family called ``name``, created on first use."""
         return self._get(name, CounterMap, CounterMap)
 
+    def timeline(self, name: str, width_us: int) -> Timeline:
+        """The virtual-time timeline called ``name``, created on first use."""
+        return self._get(name, Timeline, lambda: Timeline(width_us))
+
     def register(self, name: str, instrument):
         """Adopt a pre-built instrument under ``name`` (e.g. a
         :class:`Histogram` subclass an owner wants to keep a typed handle
         to).  The name must be free."""
         if name in self._instruments:
             raise ValueError(f"metric {name!r} is already registered")
-        if not isinstance(instrument, (Counter, Gauge, Histogram, CounterMap)):
+        if not isinstance(
+            instrument, (Counter, Gauge, Histogram, CounterMap, Timeline)
+        ):
             raise TypeError(f"unknown instrument {type(instrument)}")
         self._instruments[name] = instrument
         return instrument
@@ -315,6 +343,8 @@ class MetricsRegistry:
                     mine = self.histogram(name, instrument.bucket_bounds)
                 elif isinstance(instrument, CounterMap):
                     mine = self.counter_map(name)
+                elif isinstance(instrument, Timeline):
+                    mine = self.timeline(name, instrument.width_us)
                 else:  # pragma: no cover - registry only creates the above
                     raise TypeError(f"unknown instrument {type(instrument)}")
             elif type(mine) is not type(instrument):
@@ -363,6 +393,8 @@ class MetricsRegistry:
                 registry._instruments[name] = Histogram.from_dump(payload)
             elif kind == "counter_map":
                 registry.counter_map(name).merge(payload.get("counts", {}))
+            elif kind == "timeline":
+                registry._instruments[name] = Timeline.from_dump(payload)
             else:
                 raise ValueError(f"unknown instrument type {kind!r} for {name!r}")
         return registry

@@ -11,7 +11,7 @@ those into the fixed-width text the CLI prints.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .export import (
     cache_stats_path,
@@ -25,6 +25,22 @@ from .export import (
     span_breakdown,
 )
 from .registry import Histogram, merge_registries
+from .timeline import Timeline
+
+
+def _timeline_summary(payload: Dict[str, object]) -> Dict[str, object]:
+    """A serialized timeline compressed to window count plus field totals
+    (summed or maxed per the field's merge suffix)."""
+    timeline = Timeline.from_dump(payload)
+    fields = sorted({
+        field for _, window in timeline.windows() for field in window
+    })
+    out: Dict[str, object] = {
+        "windows": len(timeline), "width_us": timeline.width_us,
+    }
+    for field in fields:
+        out[field] = timeline.total(field)
+    return out
 
 
 def _registry_summary(serialized: Dict[str, object]) -> Dict[str, object]:
@@ -32,7 +48,8 @@ def _registry_summary(serialized: Dict[str, object]) -> Dict[str, object]:
 
     Counters and gauges flatten to their value; histograms re-derive their
     dashboard summary (count/mean/percentiles) from the full-fidelity dump;
-    counter families compress to total count and distinct-key count.
+    counter families compress to total count and distinct-key count;
+    timelines compress to window count plus field totals.
     """
     out: Dict[str, object] = {}
     for name, payload in serialized.items():
@@ -44,6 +61,8 @@ def _registry_summary(serialized: Dict[str, object]) -> Dict[str, object]:
         elif kind == "counter_map":
             counts = payload.get("counts", {})
             out[name] = {"total": sum(counts.values()), "keys": len(counts)}
+        elif kind == "timeline":
+            out[name] = _timeline_summary(payload)
         else:  # pragma: no cover - registry serializes only the above
             out[name] = payload
     return out
@@ -55,6 +74,7 @@ def _registry_summary(serialized: Dict[str, object]) -> Dict[str, object]:
 _TIMED_INSTRUMENTS = (
     "request_latency_us", "queue_wait_us", "queue_depth",
     "message_timeouts", "link_busy_us", "virtual_time_us",
+    "timeline", "critical_path_us",
 )
 
 
@@ -81,6 +101,8 @@ def _latency_section(
         elif kind == "counter_map":
             counts = payload.get("counts", {})
             out[name] = {"total": sum(counts.values()), "keys": len(counts)}
+        elif kind == "timeline":
+            out[name] = _timeline_summary(payload)
         else:
             out[name] = payload.get("value")
     return out
@@ -223,12 +245,107 @@ def render_summary(summary: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
-def render_diff(diff: Dict[str, object]) -> str:
-    """The ``obs diff`` text report (deltas are ``b - a``)."""
+def _is_change_leaf(value: object) -> bool:
+    """Whether a delta-tree node is a non-numeric ``{"a", "b"}`` change."""
+    return isinstance(value, dict) and set(value) == {"a", "b"}
+
+
+def _flatten_delta(tree: Dict[str, object], prefix: str = "") -> Dict[str, object]:
+    """A delta tree as flat ``parent.child`` rows, order preserved.
+
+    Nested sections (``request_latency_us.p99``, ``queues.wait_us.p95``)
+    become single aligned rows instead of one opaque dict-per-line.
+    """
+    rows: Dict[str, object] = {}
+    for key, value in tree.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict) and not _is_change_leaf(value):
+            rows.update(_flatten_delta(value, path))
+        else:
+            rows[path] = value
+    return rows
+
+
+def _lookup(summary: Optional[Dict[str, object]], path: str) -> object:
+    """The value at a flattened ``parent.child`` path, or ``None``."""
+    node: object = summary
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def _diff_section(
+    title: str,
+    tree: Dict[str, object],
+    summary_a: Optional[Dict[str, object]],
+    summary_b: Optional[Dict[str, object]],
+    lines: List[str],
+) -> None:
+    """One diff section: flattened rows, aligned before/after columns.
+
+    With both summaries available every row reads ``name  a -> b  (delta)``;
+    without them only the delta prints (the JSON path's information)."""
+    lines.append(f"{title}:")
+    rows = _flatten_delta(tree)
+    if not rows:
+        lines.append("  (no differences)")
+        return
+    with_context = summary_a is not None and summary_b is not None
+    table: List[Tuple[str, str, str, str]] = []
+    for path, delta in rows.items():
+        if _is_change_leaf(delta):
+            table.append((path, str(delta["a"]), str(delta["b"]), ""))
+        elif with_context:
+            value_a = _lookup(summary_a, path)
+            value_b = _lookup(summary_b, path)
+            table.append((
+                path,
+                "-" if value_a is None else str(value_a),
+                "-" if value_b is None else str(value_b),
+                f"({delta:+,})",
+            ))
+        else:
+            table.append((path, "", "", f"{delta:+,}"))
+    name_w = max(len(row[0]) for row in table)
+    a_w = max(len(row[1]) for row in table)
+    b_w = max(len(row[2]) for row in table)
+    for path, a_text, b_text, delta_text in table:
+        if a_text or b_text:
+            line = (
+                f"  {path:<{name_w}}  {a_text:>{a_w}} -> {b_text:<{b_w}}"
+                f"  {delta_text}"
+            )
+        else:
+            line = f"  {path:<{name_w}}  {delta_text}"
+        lines.append(line.rstrip())
+
+
+def render_diff(
+    diff: Dict[str, object],
+    before: Optional[Dict[str, object]] = None,
+    after: Optional[Dict[str, object]] = None,
+) -> str:
+    """The ``obs diff`` text report (deltas are ``b - a``).
+
+    Pass the two exports' summaries as ``before``/``after`` to print each
+    changed value's actual before/after next to its delta — the CLI does;
+    without them rows carry the delta alone."""
     cells = diff.get("cells", {})
     lines = [f"cells: a={cells.get('a', 0)} b={cells.get('b', 0)}"]
-    _section("metrics delta (b - a)", diff.get("metrics", {}), lines)
-    if diff.get("latency"):
-        _section("latency delta (b - a)", diff["latency"], lines)
-    _section("spans delta (b - a)", diff.get("spans", {}), lines)
+    for section, title in (
+        ("metrics", "metrics delta (b - a)"),
+        ("latency", "latency delta (b - a)"),
+        ("spans", "spans delta (b - a)"),
+    ):
+        tree = diff.get(section) or {}
+        if section == "latency" and not tree:
+            continue
+        _diff_section(
+            title, tree,
+            before.get(section) if before else None,
+            after.get(section) if after else None,
+            lines,
+        )
     return "\n".join(lines)

@@ -23,12 +23,32 @@ Request latency is the virtual time from the op's arrival to its last
 batch completion, recorded in integer microseconds.  Everything is a pure
 function of (trace, model, seed): replaying a trace reproduces every
 histogram bucket exactly.
+
+Beyond the latency number, the overlay keeps each request's **causal
+timeline**: every priced message records its timed segments —
+``link_wait`` / ``link_xfer`` / ``node_wait`` / ``node_service``, each
+tagged with the link or node it happened on — under the batch's traffic
+phase (``query``/``reply``/``payload``...).  Batches are barrier-ordered,
+so the record *is* the request's DAG: batch edges are causal, messages
+within a batch are concurrent, segments within a message sequential.  Two
+consumers ride on it:
+
+* the **critical path**: per batch, the barrier-defining message (latest
+  completion, earliest launch index on ties) is the one every later batch
+  actually waited for; its segment durations, blamed on
+  ``phase:kind:where`` contributor keys, sum *exactly* to the request's
+  latency and accumulate into the ``critical_path_us`` counter family —
+  mergeable across cells and workers like every other instrument;
+* **exemplars**: the slowest-``k`` requests per run keep their full
+  timeline (seed-deterministic, excluded from result digests), exported
+  as ``timelines-cell-NNNN.jsonl`` for ``python -m repro obs attribute``.
 """
 
 from __future__ import annotations
 
+import heapq
 import random
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from ..core.exceptions import NoRouteError, UnknownNodeError
 from .kernel import SimKernel
@@ -41,6 +61,9 @@ _Message = Tuple[Hashable, Hashable]
 #: Microseconds per virtual second (latency histograms are integer-valued).
 _US = 1_000_000
 
+#: How many slowest requests keep their full timeline per run.
+SLOWEST_K = 8
+
 
 def _to_us(seconds: float) -> int:
     """Virtual seconds as integer microseconds (histograms are
@@ -49,14 +72,20 @@ def _to_us(seconds: float) -> int:
     return int(round(seconds * _US))
 
 
+def contributor_key(phase: str, kind: str, where: str) -> str:
+    """The ``critical_path_us`` label for one blamed segment."""
+    return f"{phase}:{kind}:{where}"
+
+
 class TimedOverlay:
     """Prices one run's requests on the virtual clock (see module doc).
 
     ``metrics`` must have had ``enable_timing()`` called; the overlay
-    writes latency, queue-wait, queue-depth, timeout and link-busy
-    instruments directly.  Attach with ``network.attach_tap(overlay)``;
-    the driver begins/finishes a capture around each REQUEST op and calls
-    :meth:`finalize` once after the run's last op.
+    writes latency, queue-wait, queue-depth, timeout, link-busy, timeline
+    and critical-path instruments directly.  Attach with
+    ``network.attach_tap(overlay)``; the driver begins/finishes a capture
+    around each REQUEST op and calls :meth:`finalize` once after the run's
+    last op.
     """
 
     def __init__(
@@ -65,6 +94,7 @@ class TimedOverlay:
         model: TimeModelSpec,
         seed: int,
         metrics,
+        exemplar_k: int = SLOWEST_K,
     ) -> None:
         self._network = network
         self._model = model
@@ -75,10 +105,17 @@ class TimedOverlay:
         self._jitter = random.Random(f"{seed}/simtime")
         self._links: Dict[str, FifoResource] = {}
         self._nodes: Dict[str, FifoResource] = {}
-        self._batches: List[List[_Message]] = []
+        #: Captured batches of the in-flight request: (phase, messages).
+        self._batches: List[Tuple[str, List[_Message]]] = []
         self._capturing = False
         self._arrival = 0.0
         self._horizon = 0.0
+        self._sequence = 0
+        self._exemplar_k = exemplar_k
+        #: Min-heap of (latency_us, -sequence, record): the smallest entry
+        #: is evicted first, so ties on latency keep the *earlier* request
+        #: — a total, seed-deterministic order.
+        self._exemplars: List[Tuple[int, int, Dict[str, object]]] = []
 
     # -- the network tap ------------------------------------------------------
 
@@ -94,7 +131,7 @@ class TimedOverlay:
             if destination != source
         ]
         if pairs:
-            self._batches.append(pairs)
+            self._batches.append((category, pairs))
 
     def on_replies(
         self, responders, client: Hashable, mode: str
@@ -108,14 +145,14 @@ class TimedOverlay:
             if responder != client
         ]
         if pairs:
-            self._batches.append(pairs)
+            self._batches.append(("reply", pairs))
 
     def on_payload(self, source: Hashable, destination: Hashable) -> None:
         """One point-to-point application message."""
         if not self._capturing:
             return
         if source != destination:
-            self._batches.append([(source, destination)])
+            self._batches.append(("payload", [(source, destination)]))
 
     # -- request pricing ------------------------------------------------------
 
@@ -126,7 +163,9 @@ class TimedOverlay:
         self._batches = []
         self._arrival = at
 
-    def finish_request(self) -> Tuple[int, float]:
+    def finish_request(
+        self, span_id: Optional[int] = None, ok: bool = True
+    ) -> Tuple[int, float]:
         """Price the captured batches; returns ``(latency_us,
         completed_at)``.
 
@@ -134,23 +173,111 @@ class TimedOverlay:
         batch ``k - 1``'s last surviving message arrived.  A batch whose
         every message was dropped (queue-wait timeout) ends the pipeline —
         nothing downstream of it could have been sent.
+
+        ``span_id`` (the driver's ``request`` span) and ``ok`` ride along
+        into the exemplar record, tying an exported timeline back to its
+        span tree and outcome.
         """
         self._capturing = False
         clock = self._arrival
-        for batch in self._batches:
-            completions: List[float] = []
+        batch_records: List[Dict[str, object]] = []
+        critical: List[Tuple[str, str, str, int]] = []
+        for phase, batch in self._batches:
+            records: List[Dict[str, object]] = []
             for source, destination in batch:
-                self._launch(clock, source, destination, completions)
+                records.append(
+                    self._launch(clock, source, destination)
+                )
             self._kernel.run()
-            if not completions:
+            batch_records.append({"phase": phase, "messages": records})
+            survivors = [r for r in records if r["completed"] is not None]
+            if not survivors:
                 break
-            clock = max(clock, max(completions))
+            # The barrier-defining message: latest completion; ties keep
+            # the earliest launch index (records preserve batch order).
+            barrier = survivors[0]
+            for record in survivors[1:]:
+                if record["completed"] > barrier["completed"]:
+                    barrier = record
+            for kind, where, start, end in barrier["segments"]:
+                # Microseconds as a difference of rounded endpoints, so the
+                # blamed segments telescope exactly: per batch they sum to
+                # completion - launch, across batches to the request's
+                # latency (each batch launches at its predecessor's
+                # completion).
+                segment_us = _to_us(end) - _to_us(start)
+                if segment_us:
+                    self._metrics.observe_critical(
+                        contributor_key(phase, kind, where), segment_us
+                    )
+                    critical.append((phase, kind, where, segment_us))
+            clock = max(clock, barrier["completed"])
         self._batches = []
         if clock > self._horizon:
             self._horizon = clock
         latency_us = _to_us(clock - self._arrival)
-        self._metrics.observe_latency(latency_us)
+        self._metrics.observe_latency(
+            latency_us, at_us=_to_us(clock), ok=ok
+        )
+        self._keep_exemplar(
+            latency_us, clock, span_id, ok, batch_records, critical
+        )
+        self._sequence += 1
         return latency_us, clock
+
+    def _keep_exemplar(
+        self,
+        latency_us: int,
+        completed: float,
+        span_id: Optional[int],
+        ok: bool,
+        batch_records: List[Dict[str, object]],
+        critical: List[Tuple[str, str, str, int]],
+    ) -> None:
+        """Offer this request to the slowest-``k`` exemplar reservoir."""
+        if self._exemplar_k < 1:
+            return
+        record = {
+            "request": self._sequence,
+            "span": span_id,
+            "ok": ok,
+            "arrival_us": _to_us(self._arrival),
+            "completed_us": _to_us(completed),
+            "latency_us": latency_us,
+            "batches": [
+                {
+                    "phase": batch["phase"],
+                    "messages": [
+                        {
+                            "source": message["source"],
+                            "destination": message["destination"],
+                            "dropped": message["completed"] is None,
+                            "segments": [
+                                [kind, where, _to_us(start), _to_us(end)]
+                                for kind, where, start, end
+                                in message["segments"]
+                            ],
+                        }
+                        for message in batch["messages"]
+                    ],
+                }
+                for batch in batch_records
+            ],
+            "critical_path": [list(entry) for entry in critical],
+        }
+        heapq.heappush(
+            self._exemplars, (latency_us, -self._sequence, record)
+        )
+        if len(self._exemplars) > self._exemplar_k:
+            heapq.heappop(self._exemplars)
+
+    def exemplars(self) -> List[Dict[str, object]]:
+        """The slowest-``k`` request timelines, slowest first (ties by
+        arrival order) — JSON-safe, deterministic, digest-excluded."""
+        ranked = sorted(
+            self._exemplars, key=lambda entry: (-entry[0], -entry[1])
+        )
+        return [record for _, _, record in ranked]
 
     def _path(self, source: Hashable, destination: Hashable) -> List[Hashable]:
         """The node sequence a message traverses.
@@ -173,20 +300,30 @@ class TimedOverlay:
             return [source, destination]
 
     def _launch(
-        self,
-        at: float,
-        source: Hashable,
-        destination: Hashable,
-        completions: List[float],
-    ) -> None:
-        """Schedule one message's hop-by-hop walk on the kernel."""
+        self, at: float, source: Hashable, destination: Hashable
+    ) -> Dict[str, object]:
+        """Schedule one message's hop-by-hop walk on the kernel.
+
+        Returns the message's record; its ``segments`` fill in as kernel
+        events fire and ``completed`` is set on arrival (``None`` = the
+        message was dropped by a queue-wait timeout).  Zero-length
+        segments are omitted — they carry no blame and the remaining
+        segments stay contiguous from launch to completion.
+        """
         path = self._path(source, destination)
         model = self._model
         metrics = self._metrics
+        record: Dict[str, object] = {
+            "source": repr(source),
+            "destination": repr(destination),
+            "segments": [],
+            "completed": None,
+        }
+        segments: List[Tuple[str, str, float, float]] = record["segments"]
 
         def hop(index: int, time: float) -> None:
             if index >= len(path) - 1:
-                completions.append(time)
+                record["completed"] = time
                 return
             u, v = path[index], path[index + 1]
             key = link_key(u, v)
@@ -197,14 +334,20 @@ class TimedOverlay:
             hold = timing.latency
             if timing.jitter:
                 hold += self._jitter.uniform(0.0, timing.jitter)
-            metrics.observe_queue_depth(link.depth(time))
-            _, end, wait, dropped = link.acquire(
+            depth = link.depth(time)
+            metrics.observe_queue_depth(depth)
+            start, end, wait, dropped = link.acquire(
                 time, hold, model.timeout, watermark=self._arrival
             )
             metrics.observe_queue_wait(_to_us(wait))
+            metrics.observe_admission(_to_us(time), dropped, depth)
             if dropped:
                 metrics.observe_timeout()
                 return
+            if wait > 0.0:
+                segments.append(("link_wait", key, time, start))
+            if end > start:
+                segments.append(("link_xfer", key, start, end))
             metrics.add_link_busy(key, _to_us(hold))
             service = model.service_time(repr(v))
             if service > 0.0:
@@ -212,17 +355,25 @@ class TimedOverlay:
                 node = self._nodes.get(node_repr)
                 if node is None:
                     node = self._nodes[node_repr] = FifoResource(1)
-                metrics.observe_queue_depth(node.depth(end))
-                _, end, wait, dropped = node.acquire(
-                    end, service, model.timeout, watermark=self._arrival
+                depth = node.depth(end)
+                metrics.observe_queue_depth(depth)
+                arrived = end
+                start, end, wait, dropped = node.acquire(
+                    arrived, service, model.timeout, watermark=self._arrival
                 )
                 metrics.observe_queue_wait(_to_us(wait))
+                metrics.observe_admission(_to_us(arrived), dropped, depth)
                 if dropped:
                     metrics.observe_timeout()
                     return
+                if wait > 0.0:
+                    segments.append(("node_wait", node_repr, arrived, start))
+                if end > start:
+                    segments.append(("node_service", node_repr, start, end))
             self._kernel.schedule(end, lambda t, i=index: hop(i + 1, t))
 
         self._kernel.schedule(at, lambda t: hop(0, t))
+        return record
 
     # -- end of run -----------------------------------------------------------
 

@@ -38,6 +38,10 @@ class QueueStats:
     dropped: int
     busy_seconds: float
     peak_depth: int
+    #: Busy intervals discarded by :meth:`FifoResource.prune` — how much
+    #: timeline the watermark actually reclaimed (0 means pruning never
+    #: fired or never found a dead interval).
+    pruned_intervals: int = 0
 
 
 class FifoResource:
@@ -56,7 +60,7 @@ class FifoResource:
     """
 
     __slots__ = ("_capacity", "_timelines", "_in_flight", "_admitted",
-                 "_dropped", "_busy_seconds", "_peak_depth")
+                 "_dropped", "_busy_seconds", "_peak_depth", "_pruned")
 
     def __init__(self, capacity: int = 1) -> None:
         if capacity < 1:
@@ -75,6 +79,7 @@ class FifoResource:
         self._dropped = 0
         self._busy_seconds = 0.0
         self._peak_depth = 0
+        self._pruned = 0
 
     @property
     def capacity(self) -> int:
@@ -132,6 +137,7 @@ class FifoResource:
                 keep += 1
             if keep:
                 del timeline[:keep]
+                self._pruned += keep
 
     def acquire(
         self,
@@ -182,4 +188,5 @@ class FifoResource:
             dropped=self._dropped,
             busy_seconds=self._busy_seconds,
             peak_depth=self._peak_depth,
+            pruned_intervals=self._pruned,
         )

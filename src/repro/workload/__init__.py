@@ -85,6 +85,7 @@ from .spec import (
     FaultRegimeSpec,
     PopularitySpec,
     ScenarioSpec,
+    SloSpec,
     build_fault_timeline,
     build_strategy,
     build_topology,
@@ -116,6 +117,7 @@ __all__ = [
     "PopularityModel",
     "PopularitySpec",
     "ScenarioSpec",
+    "SloSpec",
     "StormChurn",
     "Trace",
     "TraceOp",

@@ -79,6 +79,11 @@ class WorkloadResult:
     #: Deterministic — a replay reproduces the exact same counts — but kept
     #: out of :meth:`summary` so summaries compare across planner versions.
     plan_cache: Dict[str, int] = field(default_factory=dict)
+    #: The slowest-k request timelines of a timed run (empty when untimed).
+    #: Seed-deterministic and replay-identical, but excluded from
+    #: :meth:`to_dict` — exemplars are an observability artifact
+    #: (``timelines-cell-NNNN.jsonl``), never part of a result digest.
+    exemplars: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def ops_per_second(self) -> float:
@@ -237,18 +242,22 @@ class WorkloadDriver:
         model = self.spec.time_model
         if model is None:
             return
-        metrics.enable_timing()
+        metrics.enable_timing(slo=self.spec.slo)
         state.overlay = TimedOverlay(
             state.network, model, self.spec.seed, metrics
         )
         state.network.attach_tap(state.overlay)
 
-    def _detach_overlay(self, state: _RunState) -> None:
-        """Close out the timed overlay after the run's last op."""
+    def _detach_overlay(self, state: _RunState) -> List[Dict[str, object]]:
+        """Close out the timed overlay after the run's last op; returns
+        its slowest-k exemplar timelines (empty for untimed runs)."""
+        exemplars: List[Dict[str, object]] = []
         if state.overlay is not None:
             state.overlay.finalize()
+            exemplars = state.overlay.exemplars()
             state.network.detach_tap()
             state.overlay = None
+        return exemplars
 
     # -- the op interpreter ----------------------------------------------------
 
@@ -295,7 +304,9 @@ class WorkloadDriver:
             total_hops = locate_hops + hops.get(PAYLOAD, 0) - payload0
             timing_attrs: Dict[str, object] = {}
             if overlay is not None:
-                latency_us, completed_at = overlay.finish_request()
+                latency_us, completed_at = overlay.finish_request(
+                    span_id=request_span, ok=outcome.ok
+                )
                 timing_attrs["latency_us"] = latency_us
                 if tracer is not None:
                     # The request span closes at its virtual completion time
@@ -567,7 +578,7 @@ class WorkloadDriver:
             _drain(float("inf"))
 
         wall = wall_clock() - started
-        self._detach_overlay(state)
+        exemplars = self._detach_overlay(state)
         merge_node_load(metrics, state.network.stats.node_load, load_baseline)
         return WorkloadResult(
             spec=spec,
@@ -575,6 +586,7 @@ class WorkloadDriver:
             trace=trace,
             wall_seconds=wall,
             plan_cache=_plan_cache_delta(state, plan_baseline),
+            exemplars=exemplars,
         )
 
     def replay(
@@ -592,7 +604,7 @@ class WorkloadDriver:
             for op in trace:
                 self._exec_op(state, metrics, op)
         wall = wall_clock() - started
-        self._detach_overlay(state)
+        exemplars = self._detach_overlay(state)
         merge_node_load(metrics, state.network.stats.node_load, load_baseline)
         return WorkloadResult(
             spec=self.spec,
@@ -600,6 +612,7 @@ class WorkloadDriver:
             trace=trace,
             wall_seconds=wall,
             plan_cache=_plan_cache_delta(state, plan_baseline),
+            exemplars=exemplars,
         )
 
 

@@ -424,6 +424,22 @@ class MatrixReport:
                 aggregated[label]["p999_latency_us"] = max(
                     c.summary["latency"]["p999"] for c in members
                 )
+            # SLO aggregates: only when every member carried an objective
+            # (the key set stays pinned for slo-less grids).
+            if all("slo" in c.summary for c in members):
+                aggregated[label]["slo_breached_windows"] = sum(
+                    c.summary["slo"]["breached_windows"] for c in members
+                )
+                aggregated[label]["worst_latency_burn_rate"] = max(
+                    c.summary["slo"]["latency_burn_rate"] for c in members
+                )
+                breaches = [
+                    c.summary["slo"]["first_breach_us"] for c in members
+                    if c.summary["slo"]["first_breach_us"] is not None
+                ]
+                aggregated[label]["first_breach_us"] = (
+                    min(breaches) if breaches else None
+                )
         return aggregated
 
     def by_strategy(self) -> Dict[str, Dict[str, object]]:
@@ -723,6 +739,11 @@ def run_matrix(
                         },
                         result.metrics.registry,
                     ))
+                    if result.exemplars:
+                        _obs_export.write_timelines(
+                            _obs_export.timeline_path(obs_path, position),
+                            result.exemplars,
+                        )
                     shard_tracer.set_clock(float(position))
                     shard_tracer.event(
                         "cell-run", position=position, cell=cell.spec.name

@@ -15,7 +15,12 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Tuple
 
-from ..obs.registry import CounterMap, Histogram, MetricsRegistry
+from typing import TYPE_CHECKING
+
+from ..obs.registry import CounterMap, Histogram, MetricsRegistry, Timeline
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .spec import SloSpec
 
 
 class HopHistogram(Histogram):
@@ -36,6 +41,12 @@ class HopHistogram(Histogram):
 LATENCY_BUCKETS_US: Tuple[int, ...] = tuple(
     mantissa * 10 ** exponent for exponent in range(9) for mantissa in (1, 2, 5)
 )
+
+
+#: Telemetry window width (virtual microseconds) when the scenario has no
+#: SLO to supply one: half a virtual second, wide enough that light smoke
+#: runs keep a handful of windows, narrow enough to localize a burst.
+DEFAULT_WINDOW_US = 500_000
 
 
 class LatencyHistogram(Histogram):
@@ -109,6 +120,12 @@ class WorkloadMetrics:
         self._message_timeouts = None
         self.link_busy: Optional[CounterMap] = None
         self._virtual_horizon = None
+        #: Virtual-time windowed telemetry (timed runs only).
+        self.timeline: Optional[Timeline] = None
+        #: Critical-path blame per ``phase:kind:where`` contributor
+        #: (timed runs only; see :mod:`repro.obs.attr`).
+        self.critical_path: Optional[CounterMap] = None
+        self._slo: Optional["SloSpec"] = None
 
     # -- registry plumbing ----------------------------------------------------
 
@@ -180,7 +197,7 @@ class WorkloadMetrics:
 
     # -- timed runs (repro.simtime) -------------------------------------------
 
-    def enable_timing(self) -> None:
+    def enable_timing(self, slo: Optional["SloSpec"] = None) -> None:
         """Register the timed-run instruments (idempotent).
 
         Called only when a scenario carries a time model.  The digest
@@ -188,6 +205,11 @@ class WorkloadMetrics:
         in the registry, the obs export or :meth:`summary` unless timing
         was enabled, which keeps ``time_model=None`` results byte-identical
         to pre-simtime builds.
+
+        ``slo`` sets the telemetry window width (its ``window``) and arms
+        per-window burn-rate evaluation; without one the timeline still
+        records at :data:`DEFAULT_WINDOW_US` but :meth:`summary` gains no
+        ``slo`` section (so pre-SLO timed digests are preserved too).
         """
         if self.timed:
             return
@@ -207,15 +229,64 @@ class WorkloadMetrics:
         self.link_busy = registry.counter_map("link_busy_us")
         #: The run's virtual horizon: the latest message completion time.
         self._virtual_horizon = registry.gauge("virtual_time_us")
+        self._slo = slo
+        width_us = (
+            max(1, int(round(slo.window * 1_000_000)))
+            if slo is not None else DEFAULT_WINDOW_US
+        )
+        #: Per-window admitted/dropped/served/latency stream.
+        self.timeline = registry.timeline("timeline", width_us)
+        #: Critical-path microseconds per (phase, kind, where) contributor.
+        self.critical_path = registry.counter_map("critical_path_us")
 
     @property
     def timed(self) -> bool:
         """Whether the timed instruments are registered on this run."""
         return self.request_latency is not None
 
-    def observe_latency(self, latency_us: int) -> None:
-        """Record one request's virtual latency in microseconds."""
+    def observe_latency(
+        self, latency_us: int, at_us: Optional[int] = None, ok: bool = True
+    ) -> None:
+        """Record one request's virtual latency in microseconds.
+
+        ``at_us`` — the request's *completion* time on the virtual clock —
+        additionally streams the request into its telemetry window:
+        served/failed counts, the latency sum and the window's latency
+        peak, plus the SLO-bad count when an objective is armed.
+        """
         self.request_latency.add(latency_us)
+        if at_us is None or self.timeline is None:
+            return
+        slo = self._slo
+        self.timeline.bump(
+            at_us,
+            served=1,
+            failed=0 if ok else 1,
+            latency_sum_us=latency_us,
+            bad_latency=(
+                1 if slo is not None
+                and latency_us > slo.latency_objective * 1_000_000
+                else 0
+            ),
+        )
+        self.timeline.mark(at_us, latency_us_max=latency_us)
+
+    def observe_admission(
+        self, at_us: int, dropped: bool, depth: int
+    ) -> None:
+        """Stream one queue-admission event into its telemetry window."""
+        if self.timeline is None:
+            return
+        self.timeline.bump(
+            at_us, admitted=0 if dropped else 1, dropped=1 if dropped else 0
+        )
+        self.timeline.mark(at_us, depth_peak=depth)
+
+    def observe_critical(self, contributor: str, segment_us: int) -> None:
+        """Blame ``segment_us`` critical-path microseconds on a
+        ``phase:kind:where`` contributor."""
+        if self.critical_path is not None and segment_us:
+            self.critical_path.bump(contributor, segment_us)
 
     def observe_queue_wait(self, wait_us: int) -> None:
         """Record the wait one message suffered at one queue."""
@@ -244,6 +315,59 @@ class WorkloadMetrics:
     @property
     def virtual_time_us(self) -> int:
         return int(self._virtual_horizon.value) if self._virtual_horizon else 0
+
+    def slo_summary(self) -> Optional[Dict[str, object]]:
+        """The SLO burn record, or ``None`` when no objective is armed.
+
+        Burn rate is the error budget's spend speed: the observed bad
+        fraction divided by the budgeted bad fraction (``1 - target``) —
+        1.0 exactly spends the budget, 2.0 burns it twice as fast.  The
+        whole-run rates use every served request; the per-window scan
+        finds the *first* window whose own burn exceeds 1 (latency or
+        availability), which is when a pager would have fired.
+        """
+        slo = self._slo
+        if slo is None or self.timeline is None:
+            return None
+        latency_budget = 1.0 - slo.latency_target
+        availability_budget = 1.0 - slo.availability_target
+        served = self.timeline.total("served")
+        bad_latency = self.timeline.total("bad_latency")
+        failed = self.timeline.total("failed")
+        first_breach_us: Optional[int] = None
+        breached = 0
+        for index, fields in self.timeline.windows():
+            window_served = fields.get("served", 0)
+            if not window_served:
+                continue
+            latency_burn = (
+                fields.get("bad_latency", 0) / window_served / latency_budget
+            )
+            availability_burn = (
+                fields.get("failed", 0) / window_served / availability_budget
+            )
+            if latency_burn > 1.0 or availability_burn > 1.0:
+                breached += 1
+                if first_breach_us is None:
+                    first_breach_us = index * self.timeline.width_us
+        return {
+            "objective_us": int(round(slo.latency_objective * 1_000_000)),
+            "latency_target": slo.latency_target,
+            "availability_target": slo.availability_target,
+            "window_us": self.timeline.width_us,
+            "served": served,
+            "bad_latency": bad_latency,
+            "failed": failed,
+            "latency_burn_rate": round(
+                bad_latency / served / latency_budget, 4
+            ) if served else 0.0,
+            "availability_burn_rate": round(
+                failed / served / availability_budget, 4
+            ) if served else 0.0,
+            "windows": len(self.timeline),
+            "breached_windows": breached,
+            "first_breach_us": first_breach_us,
+        }
 
     def link_utilization(self, limit: int = 5) -> Dict[str, float]:
         """The ``limit`` busiest links as ``{link_key: busy/horizon}``."""
@@ -339,6 +463,12 @@ class WorkloadMetrics:
                 "virtual_us": self.virtual_time_us,
                 "link_utilization": self.link_utilization(),
             }
+            # The "slo" key exists only when the spec armed an objective,
+            # so timed scenarios without one keep their pre-SLO summaries
+            # (and digests) byte-identical.
+            slo = self.slo_summary()
+            if slo is not None:
+                data["slo"] = slo
         return data
 
 

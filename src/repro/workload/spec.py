@@ -224,6 +224,48 @@ class FaultRegimeSpec:
 
 
 @dataclass(frozen=True)
+class SloSpec:
+    """A declarative service-level objective for a timed scenario.
+
+    ``latency_objective`` is the per-request latency bound in virtual
+    seconds; ``latency_target`` the fraction of requests that must meet it
+    (e.g. 0.99 — "99% of requests under 10ms").  ``availability_target``
+    is the fraction of requests that must succeed at all.  ``window`` is
+    the telemetry window width in virtual seconds: the run's
+    :class:`~repro.obs.timeline.Timeline` buckets by it, and burn rates
+    are evaluated per window on the virtual clock, so a 50ms burst trips
+    the monitor even when the whole-run average would hide it.
+
+    SLOs only bind on *timed* runs (the virtual clock is what the
+    objective is measured against); an untimed run carries the spec in its
+    identity but records no windows and no burn rates.
+    """
+
+    latency_objective: float = 0.01
+    latency_target: float = 0.99
+    availability_target: float = 0.999
+    window: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.latency_objective <= 0:
+            raise ValueError("latency_objective must be positive")
+        if not 0.0 < self.latency_target < 1.0:
+            raise ValueError("latency_target must be in (0, 1)")
+        if not 0.0 < self.availability_target < 1.0:
+            raise ValueError("availability_target must be in (0, 1)")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+
+    @property
+    def label(self) -> str:
+        """A compact identity string for reports."""
+        return (
+            f"p{self.latency_target:.4g}<{self.latency_objective:.4g}s"
+            f"@{self.window:.4g}s"
+        )
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One complete, reproducible workload scenario."""
 
@@ -248,6 +290,10 @@ class ScenarioSpec:
     #: keeps the run untimed and its serialized form *key-free* — see
     #: :meth:`to_dict` — so every pre-simtime digest is preserved.
     time_model: Optional[TimeModelSpec] = None
+    #: Optional SLO evaluated per virtual-time window on timed runs.
+    #: ``None`` omits the key from :meth:`to_dict` (same digest contract
+    #: as ``time_model``), so every pre-SLO scenario identity is preserved.
+    slo: Optional[SloSpec] = None
 
     def __post_init__(self) -> None:
         if self.operations < 1:
@@ -277,6 +323,8 @@ class ScenarioSpec:
             del data["time_model"]
         else:
             data["time_model"] = self.time_model.to_dict()
+        if self.slo is None:
+            del data["slo"]
         return data
 
     @classmethod
@@ -292,6 +340,10 @@ class ScenarioSpec:
         if time_model and not isinstance(time_model, TimeModelSpec):
             time_model = TimeModelSpec.from_dict(time_model)
         payload["time_model"] = time_model or None
+        slo = payload.get("slo")
+        if slo and not isinstance(slo, SloSpec):
+            slo = SloSpec(**slo)
+        payload["slo"] = slo or None
         return cls(**payload)
 
 
